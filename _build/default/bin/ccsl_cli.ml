@@ -1,0 +1,69 @@
+(* Command-line driver: regenerate any of the paper's tables and figures.
+
+   Examples:
+     ccsl-cli all                # every experiment, quick scale
+     ccsl-cli fig7 --paper       # Olden benchmarks at paper-scale inputs
+     ccsl-cli fig5 fig10         # selected experiments *)
+
+open Cmdliner
+
+let scale_term =
+  let doc =
+    "Run at the paper's input sizes (slower).  Default is a quick scale \
+     that preserves every qualitative result."
+  in
+  Arg.(value & flag & info [ "paper"; "full" ] ~doc)
+
+let run_experiments names paper =
+  let scale =
+    if paper then Harness.Experiments.Paper else Harness.Experiments.Quick
+  in
+  let ppf = Format.std_formatter in
+  let dispatch = function
+    | "fig5" -> Harness.Experiments.fig5 ~scale ppf
+    | "fig6" -> Harness.Experiments.fig6 ~scale ppf
+    | "fig7" -> Harness.Experiments.fig7 ~scale ppf
+    | "fig10" -> Harness.Experiments.fig10 ~scale ppf
+    | "table1" -> Harness.Experiments.table1 ppf
+    | "table2" -> Harness.Experiments.table2 ~scale ppf
+    | "control" -> Harness.Experiments.control ~scale ppf
+    | "ablations" -> Harness.Ablations.all ppf
+    | "all" -> Harness.Experiments.all ~scale ppf
+    | other ->
+        Format.eprintf
+          "unknown experiment %S (expected fig5, fig6, fig7, fig10, table1, \
+           table2, control, all)@."
+          other;
+        exit 2
+  in
+  let names = if names = [] then [ "all" ] else names in
+  List.iter dispatch names
+
+let names_term =
+  let doc =
+    "Experiments to run: $(b,fig5), $(b,fig6), $(b,fig7), $(b,fig10), \
+     $(b,table1), $(b,table2), $(b,control) or $(b,all) (default)."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let cmd =
+  let doc =
+    "Reproduce the evaluation of 'Cache-Conscious Structure Layout' (PLDI \
+     1999)"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Every table and figure of the paper's evaluation section is \
+         regenerated on simulated machines: a two-level cache hierarchy \
+         with the paper's exact geometries and latencies over a simulated \
+         word-addressable heap.  See DESIGN.md and EXPERIMENTS.md in the \
+         repository root.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "ccsl-cli" ~version:"1.0.0" ~doc ~man)
+    Term.(const run_experiments $ names_term $ scale_term)
+
+let () = exit (Cmd.eval cmd)

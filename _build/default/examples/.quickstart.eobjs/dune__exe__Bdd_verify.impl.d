@@ -1,0 +1,1 @@
+examples/bdd_verify.ml: Ccsl Format Memsim Structures Vis

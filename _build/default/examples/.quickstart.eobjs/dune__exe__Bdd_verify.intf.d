@@ -1,0 +1,1 @@
+examples/bdd_verify.mli:

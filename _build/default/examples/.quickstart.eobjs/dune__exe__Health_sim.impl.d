@@ -1,0 +1,1 @@
+examples/health_sim.ml: Format Memsim Olden

@@ -1,0 +1,1 @@
+examples/health_sim.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ccsl Format Memsim Structures Workload

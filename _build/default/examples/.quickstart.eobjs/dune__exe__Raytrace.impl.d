@@ -1,0 +1,1 @@
+examples/raytrace.ml: Alloc Array Ccsl Format Memsim Radiance String Structures

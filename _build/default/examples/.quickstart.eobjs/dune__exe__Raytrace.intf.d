@@ -1,0 +1,1 @@
+examples/raytrace.mli:

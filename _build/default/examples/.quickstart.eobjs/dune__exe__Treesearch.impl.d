@@ -1,0 +1,1 @@
+examples/treesearch.ml: Format List Micro

@@ -1,0 +1,1 @@
+lib/alloc/allocator.ml: Format Memsim

@@ -1,0 +1,1 @@
+lib/alloc/bump.ml: Allocator Memsim

@@ -1,0 +1,1 @@
+lib/alloc/bump.mli: Allocator Memsim

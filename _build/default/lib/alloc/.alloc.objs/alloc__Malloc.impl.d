@@ -1,0 +1,1 @@
+lib/alloc/malloc.ml: Allocator Hashtbl List Memsim

@@ -1,0 +1,1 @@
+lib/alloc/malloc.mli: Allocator Memsim

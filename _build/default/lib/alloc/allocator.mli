@@ -1,0 +1,40 @@
+(** The allocator interface shared by the system-malloc emulation, the
+    bump arenas, and [Ccmalloc].
+
+    Allocators are first-class records so benchmark kernels can be written
+    once and run under any placement policy — exactly how the paper swaps
+    [malloc] for [ccmalloc] in the Olden sources.  The [hint] argument is
+    [ccmalloc]'s extra parameter (a pointer to an element likely to be
+    accessed contemporaneously); hint-blind allocators ignore it. *)
+
+type stats = {
+  allocations : int;
+  frees : int;
+  bytes_requested : int;  (** sum of requested sizes *)
+  bytes_reserved : int;  (** address space consumed, incl. padding/headers *)
+}
+
+type t = {
+  name : string;
+  alloc : ?hint:Memsim.Addr.t -> int -> Memsim.Addr.t;
+      (** [alloc ?hint bytes] returns the address of a fresh, zeroed,
+          4-byte-aligned region of [bytes] bytes.
+          @raise Invalid_argument if [bytes <= 0]. *)
+  free : Memsim.Addr.t -> unit;
+      (** Return a region to the allocator.  Arena-style allocators treat
+          this as a no-op. *)
+  owns : Memsim.Addr.t -> bool;
+      (** Is this address a live allocation of this allocator?  Callers
+          use it to avoid freeing objects that have been migrated away by
+          [Ccmorph] (whose copies live in arenas, not in any allocator). *)
+  stats : unit -> stats;
+}
+
+val footprint : t -> int
+(** [bytes_reserved] of the current stats. *)
+
+val overhead_ratio : t -> float
+(** [bytes_reserved / bytes_requested - 1]; the §4.4 memory-overhead
+    metric.  [0.] when nothing was requested. *)
+
+val pp_stats : Format.formatter -> stats -> unit

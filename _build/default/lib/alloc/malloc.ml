@@ -1,0 +1,132 @@
+module A = Memsim.Addr
+module Machine = Memsim.Machine
+
+let header_bytes = 8
+
+(* Instruction cost of the allocator fast path, charged as busy cycles. *)
+let alloc_cycles = 12
+let free_cycles = 8
+
+type t = {
+  m : Machine.t;
+  grow_pages : int;
+  (* exact-size LIFO bins: carved size -> stack of chunk base addresses *)
+  bins : (int, int list ref) Hashtbl.t;
+  mutable wilderness : int;  (* next free byte of the current region *)
+  mutable wilderness_end : int;
+  live : (int, int) Hashtbl.t;  (* payload addr -> carved bytes *)
+  mutable allocations : int;
+  mutable frees : int;
+  mutable bytes_requested : int;
+  mutable bytes_reserved : int;
+}
+
+let create ?(grow_pages = 16) m =
+  {
+    m;
+    grow_pages;
+    bins = Hashtbl.create 64;
+    wilderness = 0;
+    wilderness_end = 0;
+    live = Hashtbl.create 4096;
+    allocations = 0;
+    frees = 0;
+    bytes_requested = 0;
+    bytes_reserved = 0;
+  }
+
+let bin t size =
+  match Hashtbl.find_opt t.bins size with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace t.bins size r;
+      r
+
+let carve t need =
+  if t.wilderness + need > t.wilderness_end then begin
+    let pages =
+      max t.grow_pages
+        ((need + Machine.page_bytes t.m - 1) / Machine.page_bytes t.m)
+    in
+    let base = Machine.reserve_pages t.m pages in
+    t.wilderness <- base;
+    t.wilderness_end <- base + (pages * Machine.page_bytes t.m)
+  end;
+  let base = t.wilderness in
+  t.wilderness <- base + need;
+  base
+
+let alloc t bytes =
+  if bytes <= 0 then invalid_arg "Malloc.alloc: bytes <= 0";
+  Machine.busy t.m alloc_cycles;
+  let need = header_bytes + A.align_up bytes 8 in
+  let b = bin t need in
+  let base =
+    match !b with
+    | chunk :: rest ->
+        (* LIFO bin reuse: the most recently freed chunk of this size,
+           wherever in the heap it happens to sit *)
+        b := rest;
+        chunk
+    | [] -> carve t need
+  in
+  let payload = base + header_bytes in
+  Hashtbl.replace t.live payload need;
+  (* Header word records the carved size, as a real allocator would. *)
+  Memsim.Memory.store32 (Machine.memory t.m) base need;
+  Memsim.Memory.fill_zero (Machine.memory t.m) payload ~bytes;
+  t.allocations <- t.allocations + 1;
+  t.bytes_requested <- t.bytes_requested + bytes;
+  t.bytes_reserved <- t.bytes_reserved + need;
+  payload
+
+let free t payload =
+  Machine.busy t.m free_cycles;
+  match Hashtbl.find_opt t.live payload with
+  | None -> invalid_arg "Malloc.free: not an allocated address"
+  | Some carved ->
+      Hashtbl.remove t.live payload;
+      t.frees <- t.frees + 1;
+      t.bytes_reserved <- t.bytes_reserved - carved;
+      let b = bin t carved in
+      b := (payload - header_bytes) :: !b
+
+let free_bytes t =
+  Hashtbl.fold (fun size b acc -> acc + (size * List.length !b)) t.bins 0
+
+let check_invariants t =
+  (* live payload ranges and binned chunk ranges must be disjoint *)
+  let ranges = ref [] in
+  Hashtbl.iter
+    (fun payload carved -> ranges := (payload - header_bytes, carved) :: !ranges)
+    t.live;
+  Hashtbl.iter
+    (fun size b -> List.iter (fun base -> ranges := (base, size) :: !ranges) !b)
+    t.bins;
+  let sorted = List.sort compare !ranges in
+  let rec go = function
+    | [] | [ _ ] -> ()
+    | (a1, s1) :: ((a2, _) :: _ as rest) ->
+        if a1 + s1 > a2 then failwith "Malloc: overlapping chunks";
+        go rest
+  in
+  go sorted;
+  if List.exists (fun (a, s) -> a <= 0 || s <= 0) sorted then
+    failwith "Malloc: degenerate chunk"
+
+let allocator t =
+  {
+    Allocator.name = "malloc";
+    alloc = (fun ?hint bytes -> ignore hint; alloc t bytes);
+    free = (fun a -> free t a);
+    owns = (fun a -> Hashtbl.mem t.live a);
+    stats =
+      (fun () ->
+        {
+          Allocator.allocations = t.allocations;
+          frees = 0 + t.frees;
+          bytes_requested = t.bytes_requested;
+          bytes_reserved = t.bytes_reserved;
+        });
+  }

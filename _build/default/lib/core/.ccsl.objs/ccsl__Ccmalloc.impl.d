@@ -1,0 +1,1 @@
+lib/core/ccmalloc.ml: Alloc Array Hashtbl List Memsim Option

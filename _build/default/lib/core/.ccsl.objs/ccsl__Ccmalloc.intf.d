@@ -1,0 +1,1 @@
+lib/core/ccmalloc.mli: Alloc Memsim

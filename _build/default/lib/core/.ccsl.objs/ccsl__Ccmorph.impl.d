@@ -1,0 +1,1 @@
+lib/core/ccmorph.ml: Array Bytes Char Clustering Coloring Hashtbl List Memsim Queue

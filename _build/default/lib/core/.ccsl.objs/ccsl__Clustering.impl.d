@@ -1,0 +1,1 @@
+lib/core/clustering.ml: Array List Printf Queue

@@ -1,0 +1,295 @@
+module A = Memsim.Addr
+module Machine = Memsim.Machine
+module Cache_config = Memsim.Cache_config
+
+type desc = {
+  elem_bytes : int;
+  kid_offsets : int array;
+  parent_offset : int option;
+  kid_filter : (int -> bool) option;
+}
+
+let plain_desc ~elem_bytes ~kid_offsets =
+  { elem_bytes; kid_offsets; parent_offset = None; kid_filter = None }
+
+type cluster_scheme = Subtree | Depth_first
+
+type params = {
+  cluster : cluster_scheme;
+  color : bool;
+  color_frac : float;
+  color_first_set : int;
+  page_aware : bool;
+}
+
+let default_params =
+  {
+    cluster = Subtree;
+    color = true;
+    color_frac = 0.5;
+    color_first_set = 0;
+    page_aware = true;
+  }
+
+type result = {
+  new_root : Memsim.Addr.t;
+  new_roots : Memsim.Addr.t array;
+  nodes : int;
+  blocks_used : int;
+  hot_blocks : int;
+  bytes_copied : int;
+}
+
+(* Discover the structure with a timed breadth-first traversal.  Each
+   element is read exactly once: its bytes are buffered so the copy
+   phase is write-only (a second scattered read pass over a structure
+   larger than the cache would roughly double the reorganization
+   cost). *)
+let discover m desc roots =
+  let is_ptr w =
+    (not (A.is_null w))
+    && match desc.kid_filter with None -> true | Some f -> f w
+  in
+  let index_of = Hashtbl.create 1024 in
+  let addrs = ref [] in
+  let images = ref [] in
+  let n = ref 0 in
+  let q = Queue.create () in
+  let mem = Machine.memory m in
+  let snapshot addr =
+    (* one timed read of the whole element; field extraction below is
+       untimed (the element is in cache/registers now) *)
+    Machine.touch m addr ~bytes:desc.elem_bytes;
+    let img = Bytes.create desc.elem_bytes in
+    for i = 0 to desc.elem_bytes - 1 do
+      Bytes.unsafe_set img i (Char.unsafe_chr (Memsim.Memory.load8 mem (addr + i)))
+    done;
+    img
+  in
+  Array.iter
+    (fun r ->
+      if not (A.is_null r) then begin
+        if Hashtbl.mem index_of r then
+          invalid_arg "Ccmorph: duplicate root";
+        Hashtbl.replace index_of r !n;
+        addrs := r :: !addrs;
+        images := snapshot r :: !images;
+        incr n;
+        Queue.add r q
+      end)
+    roots;
+  let kids_rev = ref [] in
+  (* BFS assigns indices in discovery order, so kids lists arrive in the
+     same order as indices; collect per-node kid lists as we pop. *)
+  while not (Queue.is_empty q) do
+    let addr = Queue.pop q in
+    let my_kids = ref [] in
+    Array.iter
+      (fun off ->
+        let kid = Machine.uload32 m (addr + off) in
+        if is_ptr kid then begin
+          if Hashtbl.mem index_of kid then
+            invalid_arg "Ccmorph: structure is not tree-shaped";
+          Hashtbl.replace index_of kid !n;
+          addrs := kid :: !addrs;
+          images := snapshot kid :: !images;
+          my_kids := !n :: !my_kids;
+          incr n;
+          Queue.add kid q
+        end)
+      desc.kid_offsets;
+    kids_rev := List.rev !my_kids :: !kids_rev
+  done;
+  let addrs = Array.of_list (List.rev !addrs) in
+  let images = Array.of_list (List.rev !images) in
+  let kids = Array.of_list (List.rev !kids_rev) in
+  (addrs, images, kids, index_of)
+
+let dfs_order kids root_ids n =
+  let order = Array.make n (-1) in
+  let pos = ref 0 in
+  let rec go v =
+    order.(!pos) <- v;
+    incr pos;
+    List.iter go kids.(v)
+  in
+  List.iter go root_ids;
+  if !pos <> n then invalid_arg "Ccmorph: dfs_order incomplete";
+  order
+
+let do_morph params m desc roots =
+  let block_bytes = Machine.l2_block_bytes m in
+  if desc.elem_bytes > block_bytes then
+    invalid_arg "Ccmorph: element larger than an L2 block";
+  if desc.elem_bytes < 4 then invalid_arg "Ccmorph: element too small";
+  let old_addrs, images, kids, index_of = discover m desc roots in
+  let n = Array.length old_addrs in
+  if n = 0 then
+    {
+      new_root = A.null;
+      new_roots = Array.map (fun _ -> A.null) roots;
+      nodes = 0;
+      blocks_used = 0;
+      hot_blocks = 0;
+      bytes_copied = 0;
+    }
+  else begin
+    let k = max 1 (block_bytes / desc.elem_bytes) in
+    let root_ids =
+      Array.to_list roots
+      |> List.filter_map (fun r ->
+             if A.is_null r then None else Some (Hashtbl.find index_of r))
+    in
+    let plan =
+      match params.cluster with
+      | Subtree ->
+          Clustering.subtree ~n ~kids:(fun v -> kids.(v)) ~roots:root_ids ~k
+      | Depth_first -> Clustering.linear ~n ~order:(dfs_order kids root_ids n) ~k
+    in
+    let nblocks = Array.length plan.Clustering.blocks in
+    (* Address-assignment order: the plan emits blocks breadth-first
+       (nearest the root first), which is what coloring wants for its hot
+       prefix; the remaining blocks are laid out in depth-first
+       first-visit order so that a pointer path's successive cold blocks
+       stay on the same virtual-memory pages (the paper's ccmorph is
+       explicitly page-aware). *)
+    let dfs_block_order =
+      let seen = Array.make nblocks false in
+      let out = ref [] in
+      let rec go v =
+        let b = plan.Clustering.block_of_node.(v) in
+        if not seen.(b) then begin
+          seen.(b) <- true;
+          out := b :: !out
+        end;
+        List.iter go kids.(v)
+      in
+      List.iter go root_ids;
+      Array.of_list (List.rev !out)
+    in
+    let hot_blocks = ref 0 in
+    let block_addr : int -> A.t =
+      if params.color then begin
+        let coloring =
+          Coloring.v ~color_frac:params.color_frac
+            ~hot_first_set:params.color_first_set
+            ~l2:(Machine.config m).Memsim.Config.l2
+            ~page_bytes:(Machine.page_bytes m) ()
+        in
+        let ar = Coloring.arenas m coloring in
+        let cap = Coloring.hot_capacity_blocks coloring in
+        fun j ->
+          if j < cap then begin
+            incr hot_blocks;
+            Coloring.next_hot_block ar
+          end
+          else Coloring.next_cold_block ar
+      end
+      else begin
+        let next = ref A.null in
+        let left = ref 0 in
+        fun _ ->
+          if !left = 0 then begin
+            (* Draw a page-aligned run of blocks at a time. *)
+            let bytes = Machine.page_bytes m in
+            next := Machine.reserve m ~bytes ~align:(Machine.page_bytes m);
+            left := bytes / block_bytes
+          end;
+          let a = !next in
+          next := a + block_bytes;
+          decr left;
+          a
+      end
+    in
+    (* Assign block base addresses: the breadth-first hot prefix first,
+       then the cold blocks in depth-first first-visit order. *)
+    let hot_cap =
+      if params.color then
+        let coloring =
+          Coloring.v ~color_frac:params.color_frac
+            ~hot_first_set:params.color_first_set
+            ~l2:(Machine.config m).Memsim.Config.l2
+            ~page_bytes:(Machine.page_bytes m) ()
+        in
+        min nblocks (Coloring.hot_capacity_blocks coloring)
+      else 0
+    in
+    let block_base = Array.make nblocks A.null in
+    for j = 0 to hot_cap - 1 do
+      block_base.(j) <- block_addr j
+    done;
+    if params.page_aware then
+      Array.iter
+        (fun j -> if j >= hot_cap then block_base.(j) <- block_addr j)
+        dfs_block_order
+    else
+      for j = hot_cap to nblocks - 1 do
+        block_base.(j) <- block_addr j
+      done;
+    (* Copy nodes block by block; new addresses pack elements tightly
+       within each block and never straddle it. *)
+    let new_addrs = Array.make n A.null in
+    let bytes_copied = ref 0 in
+    let mem = Machine.memory m in
+    Array.iteri
+      (fun j members ->
+        let base = block_base.(j) in
+        Array.iteri
+          (fun pos v ->
+            let dst = base + (pos * desc.elem_bytes) in
+            new_addrs.(v) <- dst;
+            Machine.touch m ~write:true dst ~bytes:desc.elem_bytes;
+            let img = images.(v) in
+            for i = 0 to desc.elem_bytes - 1 do
+              Memsim.Memory.store8 mem (dst + i) (Char.code (Bytes.unsafe_get img i))
+            done;
+            bytes_copied := !bytes_copied + desc.elem_bytes)
+          members)
+      plan.Clustering.blocks;
+    (* Rewrite child (and parent) pointers in the copies. *)
+    let rewrite v =
+      let na = new_addrs.(v) in
+      Array.iter
+        (fun off ->
+          let old_kid = Machine.uload32 m (na + off) in
+          let is_ptr =
+            (not (A.is_null old_kid))
+            && match desc.kid_filter with None -> true | Some f -> f old_kid
+          in
+          if is_ptr then
+            Machine.store_ptr m (na + off)
+              new_addrs.(Hashtbl.find index_of old_kid))
+        desc.kid_offsets;
+      match desc.parent_offset with
+      | None -> ()
+      | Some off ->
+          let old_parent = Machine.uload32 m (na + off) in
+          if not (A.is_null old_parent) then
+            Machine.store_ptr m (na + off)
+              new_addrs.(Hashtbl.find index_of old_parent)
+    in
+    for v = 0 to n - 1 do
+      rewrite v
+    done;
+    let new_roots =
+      Array.map
+        (fun r ->
+          if A.is_null r then A.null
+          else new_addrs.(Hashtbl.find index_of r))
+        roots
+    in
+    {
+      new_root = (if Array.length new_roots > 0 then new_roots.(0) else A.null);
+      new_roots;
+      nodes = n;
+      blocks_used = nblocks;
+      hot_blocks = !hot_blocks;
+      bytes_copied = !bytes_copied;
+    }
+  end
+
+let morph ?(params = default_params) m desc ~root =
+  do_morph params m desc [| root |]
+
+let morph_forest ?(params = default_params) m desc ~roots =
+  do_morph params m desc roots

@@ -1,0 +1,80 @@
+(** [ccmorph]: transparent cache-conscious structure reorganization
+    (paper Section 3.1).
+
+    Given a pointer to the root of a tree-like structure, a description of
+    where its pointer fields live (the moral equivalent of the paper's
+    [next_node] function — we need field offsets rather than a bare
+    traversal function because the copied nodes' pointers must be
+    rewritten), and cache parameters, [morph] copies the structure into a
+    contiguous set of cache blocks, applying subtree clustering
+    (Section 2.1) and optionally coloring (Section 2.2).
+
+    Reorganization is appropriate for read-mostly structures; the caller
+    guarantees no external pointers into the middle of the structure (the
+    old copy is left untouched, so misuse cannot corrupt it, but updates
+    to the old copy are not reflected in the new one).  "Liberal" trees
+    whose elements carry a parent (or predecessor) pointer are supported
+    via [parent_offset].
+
+    All traversal, copy, and pointer-rewrite memory traffic is *timed* —
+    reorganization overhead lands in the same cycle counters the
+    benchmarks report, as in the paper's RADIANCE and health results. *)
+
+type desc = {
+  elem_bytes : int;  (** size of one element, bytes *)
+  kid_offsets : int array;  (** byte offsets of child/successor pointers *)
+  parent_offset : int option;
+      (** byte offset of a parent/predecessor pointer, if any *)
+  kid_filter : (int -> bool) option;
+      (** When a child slot can hold a tagged non-pointer value (e.g. the
+          octree's inline leaf payloads), [kid_filter w] decides whether
+          the loaded word [w] is a pointer to follow and rewrite.  Null
+          slots are always skipped.  [None] means every non-null slot is
+          a pointer. *)
+}
+
+val plain_desc : elem_bytes:int -> kid_offsets:int array -> desc
+(** Convenience: no parent pointer, no kid filter. *)
+
+type cluster_scheme =
+  | Subtree  (** the paper's scheme: pack k-node subtrees per block *)
+  | Depth_first  (** baseline: chunk a depth-first traversal *)
+
+type params = {
+  cluster : cluster_scheme;
+  color : bool;  (** apply coloring on top of clustering *)
+  color_frac : float;  (** the paper's [Color_const]; default 0.5 *)
+  color_first_set : int;
+      (** first cache set of the hot region (page-aligned); lets several
+          structures be colored into disjoint regions *)
+  page_aware : bool;
+      (** emit cold blocks in depth-first first-visit order so pointer
+          paths stay on few pages (default true; disable to measure the
+          TLB contribution) *)
+}
+
+val default_params : params
+(** [Subtree] clustering with coloring, [color_frac = 0.5],
+    [color_first_set = 0], [page_aware = true]. *)
+
+type result = {
+  new_root : Memsim.Addr.t;
+  new_roots : Memsim.Addr.t array;  (** for forest morphs; [[|new_root|]] else *)
+  nodes : int;
+  blocks_used : int;
+  hot_blocks : int;  (** blocks placed in the colored hot region *)
+  bytes_copied : int;
+}
+
+val morph :
+  ?params:params -> Memsim.Machine.t -> desc -> root:Memsim.Addr.t -> result
+(** Reorganize the structure reachable from [root].
+    @raise Invalid_argument if [elem_bytes] exceeds the L2 block size or
+    the structure is not tree-shaped (an element reachable twice). *)
+
+val morph_forest :
+  ?params:params ->
+  Memsim.Machine.t -> desc -> roots:Memsim.Addr.t array -> result
+(** Reorganize several disjoint structures (e.g. every chain of a hash
+    table) into one shared layout, so short chains pack together.  Null
+    roots are preserved as null in [new_roots]. *)

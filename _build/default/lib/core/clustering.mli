@@ -1,0 +1,43 @@
+(** Clustering plans (paper Section 2.1, Figure 1).
+
+    Clustering decides which structure elements share a cache block.  The
+    planner works on an abstract tree: nodes are integers [0 .. n-1] and
+    [kids i] lists the children of node [i].  The result assigns nodes to
+    blocks of at most [k] elements, where [k = ⌊b/e⌋] is how many elements
+    fit in a cache block. *)
+
+type plan = {
+  blocks : int array array;
+      (** [blocks.(j)] lists the node ids sharing block [j], in layout
+          order.  Every node appears in exactly one block. *)
+  block_of_node : int array;  (** inverse mapping *)
+}
+
+val subtree : n:int -> kids:(int -> int list) -> roots:int list -> k:int -> plan
+(** The paper's scheme: pack each block with a {e subtree} — a cluster
+    root plus its descendants in breadth-first order, up to [k] nodes.
+    Children that do not fit become roots of subsequent clusters.  Blocks
+    are emitted in breadth-first order of cluster roots, so blocks nearer
+    the structure root come first (this ordering is what {!Ccmorph}'s
+    coloring relies on).  For a complete binary tree and [k = 3] each
+    block holds a parent and its two children.
+    @raise Invalid_argument if [k < 1] or the [roots] do not reach
+    exactly the ids [0..n-1] without repetition. *)
+
+val linear : n:int -> order:int array -> k:int -> plan
+(** Chunk an explicit traversal order into consecutive [k]-element blocks;
+    with a depth-first order this is the paper's "depth-first clustering"
+    baseline, and for lists it packs consecutive elements. *)
+
+val expected_accesses_subtree : k:int -> float
+(** Expected number of accesses to a block per traversal through it under
+    random binary search when the block holds a [k]-node subtree:
+    [log2 (k+1)] (Section 2.1). *)
+
+val expected_accesses_depth_first : k:int -> float
+(** Same for a depth-first parent-child-grandchild chain:
+    [sum_{i=0}^{k-1} (1/2)^i = 2 (1 - (1/2)^k)], which is < 2 for any
+    [k] (Section 2.1). *)
+
+val check : plan -> n:int -> k:int -> unit
+(** Validates partition and size bounds. @raise Failure if broken. *)

@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Array Ccsl Format List Memsim Olden Printf String Structures Workload

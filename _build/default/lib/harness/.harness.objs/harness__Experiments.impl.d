@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Ccsl Format List Memsim Micro Olden Option Printf Radiance String Vis

@@ -1,0 +1,301 @@
+module C = Olden.Common
+module Tb = Micro.Tree_bench
+
+type scale = Quick | Paper
+
+let hr ppf = Format.fprintf ppf "%s@." (String.make 78 '-')
+
+let section ppf title =
+  hr ppf;
+  Format.fprintf ppf "%s@." title;
+  hr ppf
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig5_params = function
+  | Quick ->
+      ( (1 lsl 18) - 1,
+        50_000,
+        [ 10; 100; 1_000; 10_000; 50_000 ] )
+  | Paper ->
+      ( (1 lsl 21) - 1,
+        1_000_000,
+        [ 10; 100; 1_000; 10_000; 100_000; 1_000_000 ] )
+
+let fig5 ?(scale = Quick) ppf =
+  let keys, searches, checkpoints = fig5_params scale in
+  section ppf
+    (Printf.sprintf
+       "Figure 5: tree microbenchmark -- avg cycles/search (E5000, %d keys)"
+       keys);
+  let series = Tb.fig5 ~keys ~searches ~checkpoints () in
+  Format.fprintf ppf "%-10s" "searches";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%18s"
+        (match s.Tb.variant with
+        | Tb.Random_tree -> "random"
+        | Tb.Dfs_tree -> "depth-first"
+        | Tb.B_tree -> "B-tree"
+        | Tb.C_tree -> "C-tree"))
+    series;
+  Format.fprintf ppf "@.";
+  List.iteri
+    (fun i cp ->
+      Format.fprintf ppf "%-10d" cp;
+      List.iter
+        (fun s ->
+          let p = List.nth s.Tb.points i in
+          Format.fprintf ppf "%18.0f" p.Tb.avg_cycles)
+        series;
+      Format.fprintf ppf "@.")
+    checkpoints;
+  let final s = (List.nth s.Tb.points (List.length checkpoints - 1)).Tb.avg_cycles in
+  let get v = final (List.find (fun s -> s.Tb.variant = v) series) in
+  let ct = get Tb.C_tree in
+  Format.fprintf ppf
+    "@.C-tree speedups at %d searches: vs random %.2fx (paper: up to 4-5x), \
+     vs depth-first %.2fx (paper: 2.5-3x), vs B-tree %.2fx (paper: 1.5x)@.@."
+    searches (get Tb.Random_tree /. ct) (get Tb.Dfs_tree /. ct)
+    (get Tb.B_tree /. ct)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let radiance_params = function
+  | Quick ->
+      {
+        Radiance.Radiance_bench.scene_size = 256;
+        spheres = 24;
+        width = 64;
+        height = 64;
+        step = 4;
+        seed = 11;
+      }
+  | Paper -> Radiance.Radiance_bench.default_params
+
+let fig6 ?(scale = Quick) ppf =
+  section ppf "Figure 6: RADIANCE and VIS macrobenchmarks (E5000)";
+  (* RADIANCE *)
+  let params = radiance_params scale in
+  let base = Radiance.Radiance_bench.run ~params Radiance.Radiance_bench.Base in
+  let cc =
+    Radiance.Radiance_bench.run ~params
+      Radiance.Radiance_bench.Ccmorph_cluster_color
+  in
+  let steady =
+    float_of_int cc.Radiance.Radiance_bench.render_cycles
+    /. float_of_int base.Radiance.Radiance_bench.render_cycles
+  in
+  Format.fprintf ppf
+    "RADIANCE proxy (octree %d^3, %d kid blocks):@.\
+    \  base render          : %d cycles@.\
+    \  ccmorph cl+col render: %d cycles  -> steady-state norm %.2f \
+     (paper: 0.70, a 42%% speedup)@.\
+    \  reorganization cost  : %d cycles%s@."
+    params.Radiance.Radiance_bench.scene_size
+    base.Radiance.Radiance_bench.octree_blocks
+    base.Radiance.Radiance_bench.render_cycles
+    cc.Radiance.Radiance_bench.render_cycles steady
+    cc.Radiance.Radiance_bench.morph_cycles
+    (match Radiance.Radiance_bench.crossover_frames cc ~base with
+    | Some f -> Printf.sprintf " (pays for itself after %d renders)" f
+    | None -> " (no crossover at this scale)");
+  Format.fprintf ppf "  image checksums agree: %b@.@."
+    (base.Radiance.Radiance_bench.checksum
+   = cc.Radiance.Radiance_bench.checksum);
+  (* VIS *)
+  let circuits =
+    match scale with
+    | Quick ->
+        [
+          Vis.Circuit.counter 7;
+          Vis.Circuit.gray_counter 7;
+          Vis.Circuit.shifter 14;
+          Vis.Circuit.lfsr 8;
+          Vis.Circuit.token_ring 12;
+        ]
+    | Paper -> Vis.Circuit.all_default
+  in
+  let vb = Vis.Vis_bench.run ~circuits Vis.Vis_bench.Base in
+  let vc =
+    Vis.Vis_bench.run ~circuits (Vis.Vis_bench.Ccmalloc Ccsl.Ccmalloc.New_block)
+  in
+  Format.fprintf ppf
+    "VIS proxy (reachability + 8-bit multiplier verification, %d nodes):@.\
+    \  base (malloc)        : %d cycles@.\
+    \  ccmalloc new-block   : %d cycles  -> norm %.2f (paper: 0.79, a 27%% \
+     speedup)@.\
+    \  reachability oracles verified: %b   a*b = b*a proved: %b@.@."
+    vb.Vis.Vis_bench.total_nodes vb.Vis.Vis_bench.cycles
+    vc.Vis.Vis_bench.cycles
+    (float_of_int vc.Vis.Vis_bench.cycles /. float_of_int vb.Vis.Vis_bench.cycles)
+    (Vis.Vis_bench.verify vb circuits && Vis.Vis_bench.verify vc circuits)
+    (vb.Vis.Vis_bench.mult_equivalent && vc.Vis.Vis_bench.mult_equivalent)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 / Table 2                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let table1 ppf =
+  section ppf "Table 1: simulation parameters (Olden benchmark machine)";
+  let cfg = Memsim.Config.rsim_table1 () in
+  Format.fprintf ppf "%a@.@." Memsim.Config.pp cfg
+
+let olden_params = function
+  | Quick ->
+      ( { Olden.Treeadd.levels = 16; passes = 1 },
+        { Olden.Health.default_params with Olden.Health.steps = 365 },
+        Olden.Mst.default_params,
+        { Olden.Perimeter.size = 1024; seed = 7 } )
+  | Paper ->
+      ( Olden.Treeadd.paper_params,
+        Olden.Health.paper_params,
+        Olden.Mst.paper_params,
+        Olden.Perimeter.paper_params )
+
+let table2 ?(scale = Quick) ppf =
+  section ppf "Table 2: benchmark characteristics";
+  let ta, h, mst, per = olden_params scale in
+  let row name structure input mem =
+    Format.fprintf ppf "%-10s %-26s %-24s %8s@." name structure input mem
+  in
+  row "Name" "Main structures" "Input data set" "Memory";
+  let kb r = Printf.sprintf "%d KB" (r.C.memory_bytes / 1024) in
+  let rta = Olden.Treeadd.run ~params:ta C.Base in
+  row "TreeAdd" "binary tree"
+    (Printf.sprintf "%d nodes" (Olden.Treeadd.nodes_of ta))
+    (kb rta);
+  let rh = Olden.Health.run ~params:h C.Base in
+  row "Health" "doubly-linked lists"
+    (Printf.sprintf "level %d, %d steps" h.Olden.Health.levels
+       h.Olden.Health.steps)
+    (kb rh);
+  let rm = Olden.Mst.run ~params:mst C.Base in
+  row "Mst" "array of chained hashes"
+    (Printf.sprintf "%d vertices" mst.Olden.Mst.vertices)
+    (kb rm);
+  let rp = Olden.Perimeter.run ~params:per C.Base in
+  row "Perimeter" "quadtree"
+    (Printf.sprintf "%dx%d image" per.Olden.Perimeter.size
+       per.Olden.Perimeter.size)
+    (kb rp);
+  Format.fprintf ppf
+    "(paper: 4 MB / 828 KB / 12 KB / 64 MB at its input sizes)@.@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pct part total =
+  if total = 0 then 0. else 100. *. float_of_int part /. float_of_int total
+
+let fig7_one ppf name run =
+  Format.fprintf ppf
+    "%-10s %-8s %12s %6s %6s %6s %6s %6s %9s@." name "config" "cycles" "norm"
+    "busy%" "load%" "store%" "l2mr" "mem(KB)";
+  let base = ref None in
+  List.iter
+    (fun p ->
+      let r : C.result = run p in
+      if p = C.Base then base := Some r;
+      let b = Option.get !base in
+      let s = r.C.snapshot in
+      Format.fprintf ppf "%-10s %-8s %12d %6.2f %6.1f %6.1f %6.1f %6.3f %9d@."
+        name (C.label p) s.Memsim.Cost.s_total
+        (C.normalized r ~base:b)
+        (pct s.Memsim.Cost.s_busy s.Memsim.Cost.s_total)
+        (pct s.Memsim.Cost.s_load_stall s.Memsim.Cost.s_total)
+        (pct s.Memsim.Cost.s_store_stall s.Memsim.Cost.s_total)
+        r.C.l2_miss_rate (r.C.memory_bytes / 1024))
+    C.all_placements;
+  Format.fprintf ppf "@."
+
+let fig7 ?(scale = Quick) ppf =
+  section ppf
+    "Figure 7: Olden benchmarks under cache-conscious placement (RSIM \
+     machine)";
+  let ta, h, mst, per = olden_params scale in
+  fig7_one ppf "treeadd" (fun p -> Olden.Treeadd.run ~params:ta p);
+  fig7_one ppf "health" (fun p -> Olden.Health.run ~params:h p);
+  fig7_one ppf "mst" (fun p -> Olden.Mst.run ~params:mst p);
+  fig7_one ppf "perimeter" (fun p -> Olden.Perimeter.run ~params:per p);
+  Format.fprintf ppf
+    "(paper: ccmorph beats base by 28-138%% and prefetching by 3-138%%; \
+     ccmalloc new-block@. beats prefetching by 20-194%% except treeadd; \
+     shapes above should agree)@.@."
+
+(* ------------------------------------------------------------------ *)
+(* 4.4 control experiment                                              *)
+(* ------------------------------------------------------------------ *)
+
+let control ?(scale = Quick) ppf =
+  section ppf
+    "Section 4.4 control: ccmalloc with null hints vs. system malloc \
+     (whole program)";
+  let ta, h, mst, per = olden_params scale in
+  let one name base null =
+    let rb : C.result = base () in
+    let rn : C.result = null () in
+    Format.fprintf ppf
+      "%-10s base %12d cycles   null-hint ccmalloc %12d cycles   -> %+.1f%% \
+       (paper: +2%% to +6%%)@."
+      name rb.C.snapshot.Memsim.Cost.s_total rn.C.snapshot.Memsim.Cost.s_total
+      (100. *. (C.normalized rn ~base:rb -. 1.))
+  in
+  one "treeadd"
+    (fun () -> Olden.Treeadd.run ~params:ta ~measure_whole:true C.Base)
+    (fun () ->
+      Olden.Treeadd.run ~params:ta ~measure_whole:true C.Null_hint_control);
+  one "health"
+    (fun () -> Olden.Health.run ~params:h ~measure_whole:true C.Base)
+    (fun () ->
+      Olden.Health.run ~params:h ~measure_whole:true C.Null_hint_control);
+  one "mst"
+    (fun () -> Olden.Mst.run ~params:mst ~measure_whole:true C.Base)
+    (fun () ->
+      Olden.Mst.run ~params:mst ~measure_whole:true C.Null_hint_control);
+  one "perimeter"
+    (fun () -> Olden.Perimeter.run ~params:per ~measure_whole:true C.Base)
+    (fun () ->
+      Olden.Perimeter.run ~params:per ~measure_whole:true C.Null_hint_control);
+  Format.fprintf ppf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig10_params = function
+  | Quick -> ([ 1 lsl 18; 1 lsl 19; 1 lsl 20 ], 30_000)
+  | Paper ->
+      ([ 1 lsl 18; 1 lsl 19; 1 lsl 20; 1 lsl 21; 1 lsl 22 ], 200_000)
+
+let fig10 ?(scale = Quick) ppf =
+  section ppf
+    "Figure 10: predicted vs. measured C-tree speedup (model validation)";
+  let sizes, searches = fig10_params scale in
+  let pts = Tb.fig10 ~sizes ~searches () in
+  Format.fprintf ppf "%-12s %12s %12s %8s@." "tree size" "predicted"
+    "measured" "ratio";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%-12d %12.2f %12.2f %8.2f@." p.Tb.tree_size
+        p.Tb.predicted p.Tb.actual
+        (p.Tb.actual /. p.Tb.predicted))
+    pts;
+  Format.fprintf ppf
+    "(paper: both curves decline with tree size and differ by ~15%%; the \
+     paper's model@. underestimates its measurement, ours slightly \
+     overestimates -- see EXPERIMENTS.md)@.@."
+
+let all ?(scale = Quick) ppf =
+  fig5 ~scale ppf;
+  fig6 ~scale ppf;
+  table1 ppf;
+  table2 ~scale ppf;
+  fig7 ~scale ppf;
+  control ~scale ppf;
+  fig10 ~scale ppf

@@ -1,0 +1,42 @@
+(** Drivers that regenerate every table and figure of the paper's
+    evaluation section and print them in a paper-like layout, annotated
+    with the numbers the paper reports.
+
+    Two scales are provided: [Quick] finishes the whole set in about a
+    minute and preserves every qualitative shape; [Paper] uses the
+    paper's input sizes (Table 2, Section 4.2) and takes considerably
+    longer.  EXPERIMENTS.md records reference output for both. *)
+
+type scale = Quick | Paper
+
+val fig5 : ?scale:scale -> Format.formatter -> unit
+(** Tree microbenchmark: average search cycles vs. number of repeated
+    searches for the four tree organizations (Section 4.2, Figure 5). *)
+
+val fig6 : ?scale:scale -> Format.formatter -> unit
+(** Macrobenchmarks: RADIANCE (base vs. ccmorph octree) and VIS (base vs.
+    ccmalloc new-block) normalized execution times (Section 4.3,
+    Figure 6). *)
+
+val table1 : Format.formatter -> unit
+(** The RSIM machine parameters used for Figure 7 (Table 1). *)
+
+val table2 : ?scale:scale -> Format.formatter -> unit
+(** Olden benchmark characteristics: structures, inputs, memory
+    allocated (Table 2). *)
+
+val fig7 : ?scale:scale -> Format.formatter -> unit
+(** Olden benchmarks under the eight placement configurations with
+    busy/load/store breakdowns and the §4.4 memory-overhead columns
+    (Figure 7). *)
+
+val control : ?scale:scale -> Format.formatter -> unit
+(** The §4.4 control experiment: whole-program runs of ccmalloc with all
+    hints nulled, versus the system malloc base. *)
+
+val fig10 : ?scale:scale -> Format.formatter -> unit
+(** Analytic-model validation: predicted vs. measured C-tree speedup
+    across tree sizes (Section 5.4, Figure 10). *)
+
+val all : ?scale:scale -> Format.formatter -> unit
+(** Every experiment in paper order. *)

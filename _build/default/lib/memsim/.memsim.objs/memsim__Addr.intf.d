@@ -1,0 +1,1 @@
+lib/memsim/addr.mli: Format

@@ -1,0 +1,1 @@
+lib/memsim/cache.mli: Addr Cache_config Format

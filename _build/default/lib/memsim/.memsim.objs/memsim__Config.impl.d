@@ -1,0 +1,1 @@
+lib/memsim/config.ml: Cache_config Format Hierarchy Tlb

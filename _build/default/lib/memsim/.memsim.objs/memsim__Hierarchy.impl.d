@@ -1,0 +1,1 @@
+lib/memsim/hierarchy.ml: Addr Cache Cache_config Format Hashtbl List Option Tlb

@@ -1,0 +1,1 @@
+lib/memsim/hierarchy.mli: Addr Cache Cache_config Format Tlb

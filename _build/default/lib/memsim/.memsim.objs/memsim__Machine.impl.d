@@ -1,0 +1,1 @@
+lib/memsim/machine.ml: Addr Cache_config Config Cost Hierarchy Memory

@@ -1,0 +1,1 @@
+lib/memsim/machine.mli: Addr Config Cost Hierarchy Memory

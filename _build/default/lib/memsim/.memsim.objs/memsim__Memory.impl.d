@@ -1,0 +1,1 @@
+lib/memsim/memory.ml: Addr Array Bytes Char Int32 Int64

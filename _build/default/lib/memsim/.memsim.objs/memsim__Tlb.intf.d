@@ -1,0 +1,1 @@
+lib/memsim/tlb.mli: Addr

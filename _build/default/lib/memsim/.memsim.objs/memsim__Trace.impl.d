@@ -1,0 +1,1 @@
+lib/memsim/trace.ml: Array Bytes Cache Cache_config Hierarchy List

@@ -1,0 +1,1 @@
+lib/memsim/trace.mli: Addr Cache_config Hierarchy

@@ -1,0 +1,27 @@
+type t = int
+
+let null = 0
+let is_null a = a = 0
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  if not (is_pow2 n) then invalid_arg "Addr.log2: not a power of two";
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let align_up a n =
+  if not (is_pow2 n) then invalid_arg "Addr.align_up: not a power of two";
+  (a + n - 1) land lnot (n - 1)
+
+let align_down a n =
+  if not (is_pow2 n) then invalid_arg "Addr.align_down: not a power of two";
+  a land lnot (n - 1)
+
+let is_aligned a n = a land (n - 1) = 0
+let block_index a ~block_bytes = a / block_bytes
+let block_base a ~block_bytes = a land lnot (block_bytes - 1)
+let page_index a ~page_bytes = a / page_bytes
+let page_base a ~page_bytes = a land lnot (page_bytes - 1)
+let offset_in_block a ~block_bytes = a land (block_bytes - 1)
+let offset_in_page a ~page_bytes = a land (page_bytes - 1)
+let pp ppf a = Format.fprintf ppf "0x%x" a

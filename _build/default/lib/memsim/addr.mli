@@ -1,0 +1,46 @@
+(** Simulated byte addresses.
+
+    Addresses in the simulated heap are plain non-negative integers.  The
+    functions here centralize the bit arithmetic used by caches, pages and
+    allocators so geometry reasoning lives in one place. *)
+
+type t = int
+(** A byte address in the simulated address space.  Address [0] is reserved
+    as the null pointer and is never handed out by any allocator. *)
+
+val null : t
+(** The null pointer, [0]. *)
+
+val is_null : t -> bool
+
+val align_up : t -> int -> t
+(** [align_up a n] rounds [a] up to the next multiple of [n].  [n] must be a
+    power of two. *)
+
+val align_down : t -> int -> t
+(** [align_down a n] rounds [a] down to a multiple of [n] (power of two). *)
+
+val is_aligned : t -> int -> bool
+
+val block_index : t -> block_bytes:int -> int
+(** Cache-block number containing [a] ([a / block_bytes]). *)
+
+val block_base : t -> block_bytes:int -> t
+(** First byte address of the cache block containing [a]. *)
+
+val page_index : t -> page_bytes:int -> int
+(** Virtual-memory page number containing [a]. *)
+
+val page_base : t -> page_bytes:int -> t
+
+val offset_in_block : t -> block_bytes:int -> int
+val offset_in_page : t -> page_bytes:int -> int
+
+val is_pow2 : int -> bool
+(** [is_pow2 n] is true iff [n] is a positive power of two. *)
+
+val log2 : int -> int
+(** [log2 n] for a positive power of two [n]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [0x%x]. *)

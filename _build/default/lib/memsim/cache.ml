@@ -1,0 +1,171 @@
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable read_misses : int;
+  mutable write_misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+  mutable prefetch_installs : int;
+}
+
+type t = {
+  cfg : Cache_config.t;
+  (* ways are stored row-major: entry (set, way) at [set * assoc + way] *)
+  tags : int array;  (* -1 = invalid *)
+  dirty : bool array;
+  last_use : int array;  (* global tick of last touch; LRU = smallest *)
+  mutable tick : int;
+  stats : stats;
+}
+
+let fresh_stats () =
+  {
+    reads = 0;
+    writes = 0;
+    read_misses = 0;
+    write_misses = 0;
+    evictions = 0;
+    writebacks = 0;
+    prefetch_installs = 0;
+  }
+
+let create cfg =
+  let n = cfg.Cache_config.sets * cfg.assoc in
+  {
+    cfg;
+    tags = Array.make n (-1);
+    dirty = Array.make n false;
+    last_use = Array.make n 0;
+    tick = 0;
+    stats = fresh_stats ();
+  }
+
+let config t = t.cfg
+
+let find_way t set tag =
+  let base = set * t.cfg.assoc in
+  let rec go w =
+    if w = t.cfg.assoc then None
+    else if t.tags.(base + w) = tag then Some (base + w)
+    else go (w + 1)
+  in
+  go 0
+
+let victim_way t set =
+  (* Prefer an invalid way; otherwise the least-recently-used one. *)
+  let base = set * t.cfg.assoc in
+  let best = ref base in
+  let found_invalid = ref (t.tags.(base) = -1) in
+  for w = 1 to t.cfg.assoc - 1 do
+    let i = base + w in
+    if not !found_invalid then
+      if t.tags.(i) = -1 then begin
+        best := i;
+        found_invalid := true
+      end
+      else if t.last_use.(i) < t.last_use.(!best) then best := i
+  done;
+  !best
+
+let touch t i =
+  t.tick <- t.tick + 1;
+  t.last_use.(i) <- t.tick
+
+let fill t set tag ~dirty =
+  let i = victim_way t set in
+  if t.tags.(i) <> -1 then begin
+    t.stats.evictions <- t.stats.evictions + 1;
+    if t.dirty.(i) then t.stats.writebacks <- t.stats.writebacks + 1
+  end;
+  t.tags.(i) <- tag;
+  t.dirty.(i) <- dirty;
+  touch t i;
+  i
+
+let access t ~write a =
+  let set = Cache_config.set_of_addr t.cfg a in
+  let tag = Cache_config.tag_of_addr t.cfg a in
+  if write then t.stats.writes <- t.stats.writes + 1
+  else t.stats.reads <- t.stats.reads + 1;
+  let mark_dirty i =
+    if write && t.cfg.policy = Cache_config.Write_back then t.dirty.(i) <- true
+  in
+  match find_way t set tag with
+  | Some i ->
+      touch t i;
+      mark_dirty i;
+      true
+  | None ->
+      if write then t.stats.write_misses <- t.stats.write_misses + 1
+      else t.stats.read_misses <- t.stats.read_misses + 1;
+      let i =
+        fill t set tag ~dirty:(write && t.cfg.policy = Cache_config.Write_back)
+      in
+      ignore i;
+      false
+
+let probe t a =
+  let set = Cache_config.set_of_addr t.cfg a in
+  let tag = Cache_config.tag_of_addr t.cfg a in
+  find_way t set tag <> None
+
+let install t ?(prefetch = false) a =
+  let set = Cache_config.set_of_addr t.cfg a in
+  let tag = Cache_config.tag_of_addr t.cfg a in
+  match find_way t set tag with
+  | Some _ -> ()
+  | None ->
+      ignore (fill t set tag ~dirty:false);
+      if prefetch then
+        t.stats.prefetch_installs <- t.stats.prefetch_installs + 1
+
+let invalidate t a =
+  let set = Cache_config.set_of_addr t.cfg a in
+  let tag = Cache_config.tag_of_addr t.cfg a in
+  match find_way t set tag with
+  | Some i ->
+      t.tags.(i) <- -1;
+      t.dirty.(i) <- false
+  | None -> ()
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  Array.fill t.last_use 0 (Array.length t.last_use) 0
+
+let stats t = t.stats
+
+let reset_stats t =
+  let s = t.stats in
+  s.reads <- 0;
+  s.writes <- 0;
+  s.read_misses <- 0;
+  s.write_misses <- 0;
+  s.evictions <- 0;
+  s.writebacks <- 0;
+  s.prefetch_installs <- 0
+
+let accesses s = s.reads + s.writes
+let misses s = s.read_misses + s.write_misses
+
+let miss_rate s =
+  let a = accesses s in
+  if a = 0 then 0. else float_of_int (misses s) /. float_of_int a
+
+let resident_blocks t =
+  Array.fold_left (fun acc tag -> if tag <> -1 then acc + 1 else acc) 0 t.tags
+
+let set_occupancy t set =
+  let base = set * t.cfg.assoc in
+  let n = ref 0 in
+  for w = 0 to t.cfg.assoc - 1 do
+    if t.tags.(base + w) <> -1 then incr n
+  done;
+  !n
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "reads=%d writes=%d read_misses=%d write_misses=%d miss_rate=%.4f \
+     evictions=%d writebacks=%d prefetch_installs=%d"
+    s.reads s.writes s.read_misses s.write_misses (miss_rate s) s.evictions
+    s.writebacks s.prefetch_installs

@@ -1,0 +1,35 @@
+type write_policy = Write_through | Write_back
+
+type t = {
+  name : string;
+  sets : int;
+  assoc : int;
+  block_bytes : int;
+  policy : write_policy;
+}
+
+let v ?(policy = Write_back) ~name ~sets ~assoc ~block_bytes () =
+  if not (Addr.is_pow2 sets) then
+    invalid_arg "Cache_config.v: sets must be a power of two";
+  if not (Addr.is_pow2 block_bytes) then
+    invalid_arg "Cache_config.v: block_bytes must be a power of two";
+  if assoc < 1 then invalid_arg "Cache_config.v: assoc must be >= 1";
+  { name; sets; assoc; block_bytes; policy }
+
+let of_capacity ?policy ~name ~capacity_bytes ~assoc ~block_bytes () =
+  if capacity_bytes mod (assoc * block_bytes) <> 0 then
+    invalid_arg "Cache_config.of_capacity: capacity not divisible";
+  let sets = capacity_bytes / (assoc * block_bytes) in
+  v ?policy ~name ~sets ~assoc ~block_bytes ()
+
+let capacity_bytes t = t.sets * t.assoc * t.block_bytes
+let set_of_addr t a = a / t.block_bytes land (t.sets - 1)
+let tag_of_addr t a = a / t.block_bytes
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d sets x %d-way x %dB blocks (%d KB, %s)" t.name
+    t.sets t.assoc t.block_bytes
+    (capacity_bytes t / 1024)
+    (match t.policy with
+    | Write_through -> "write-through"
+    | Write_back -> "write-back")

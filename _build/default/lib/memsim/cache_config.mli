@@ -1,0 +1,40 @@
+(** Geometry of one cache level.
+
+    A cache is described, following the paper's Section 5 notation, by a
+    triple [C = <c, b, a>]: [c] sets, block size [b] bytes, associativity
+    [a].  Capacity is [c * b * a] bytes. *)
+
+type write_policy =
+  | Write_through  (** writes update the next level immediately; no dirty state *)
+  | Write_back  (** dirty blocks are written back on eviction *)
+
+type t = private {
+  name : string;
+  sets : int;  (** [c]: number of sets; power of two *)
+  assoc : int;  (** [a]: ways per set *)
+  block_bytes : int;  (** [b]: block (line) size in bytes; power of two *)
+  policy : write_policy;
+}
+
+val v :
+  ?policy:write_policy -> name:string -> sets:int -> assoc:int ->
+  block_bytes:int -> unit -> t
+(** Smart constructor; validates that [sets] and [block_bytes] are powers of
+    two and [assoc >= 1].  Default policy is {!Write_back}.
+    @raise Invalid_argument on bad geometry. *)
+
+val of_capacity :
+  ?policy:write_policy -> name:string -> capacity_bytes:int -> assoc:int ->
+  block_bytes:int -> unit -> t
+(** Derives the set count from a total capacity. *)
+
+val capacity_bytes : t -> int
+(** [sets * assoc * block_bytes]. *)
+
+val set_of_addr : t -> Addr.t -> int
+(** Index of the set the block containing this address maps to. *)
+
+val tag_of_addr : t -> Addr.t -> int
+(** The block number ([addr / block_bytes]); used directly as the tag. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+type t = {
+  name : string;
+  l1 : Cache_config.t;
+  l2 : Cache_config.t;
+  latencies : Hierarchy.latencies;
+  page_bytes : int;
+  tlb : Tlb.config option;
+  hw_prefetch : bool;
+  mshrs : int;
+}
+
+let tlb_opt enabled page_bytes =
+  if enabled then Some (Tlb.default_config ~page_bytes) else None
+
+let ultrasparc_e5000 ?(tlb = false) ?(hw_prefetch = false) ?(mshrs = 8) () =
+  let page_bytes = 8192 in
+  {
+    name = "UltraSPARC-E5000";
+    l1 =
+      Cache_config.v ~policy:Cache_config.Write_through ~name:"L1"
+        ~sets:1024 ~assoc:1 ~block_bytes:16 ();
+    (* 16 KB direct-mapped *)
+    l2 = Cache_config.v ~name:"L2" ~sets:16384 ~assoc:1 ~block_bytes:64 ();
+    (* 1 MB direct-mapped *)
+    latencies = { Hierarchy.l1_hit = 1; l1_miss = 6; l2_miss = 64 };
+    page_bytes;
+    tlb = tlb_opt tlb page_bytes;
+    hw_prefetch;
+    mshrs;
+  }
+
+let rsim_table1 ?(tlb = false) ?(hw_prefetch = false) ?(mshrs = 8) () =
+  let page_bytes = 8192 in
+  {
+    name = "RSIM-Table1";
+    l1 =
+      Cache_config.v ~policy:Cache_config.Write_through ~name:"L1" ~sets:128
+        ~assoc:1 ~block_bytes:128 ();
+    (* 16 KB direct-mapped, 128 B lines *)
+    l2 = Cache_config.v ~name:"L2" ~sets:1024 ~assoc:2 ~block_bytes:128 ();
+    (* 256 KB 2-way *)
+    latencies = { Hierarchy.l1_hit = 1; l1_miss = 9; l2_miss = 60 };
+    page_bytes;
+    tlb = tlb_opt tlb page_bytes;
+    hw_prefetch;
+    mshrs;
+  }
+
+let tiny ?(hw_prefetch = false) ?(mshrs = 8) () =
+  let page_bytes = 1024 in
+  {
+    name = "tiny-test-machine";
+    l1 =
+      Cache_config.v ~policy:Cache_config.Write_through ~name:"L1" ~sets:64
+        ~assoc:1 ~block_bytes:16 ();
+    l2 = Cache_config.v ~name:"L2" ~sets:256 ~assoc:1 ~block_bytes:64 ();
+    latencies = { Hierarchy.l1_hit = 1; l1_miss = 6; l2_miss = 64 };
+    page_bytes;
+    tlb = None;
+    hw_prefetch;
+    mshrs;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %a | %a | page=%dB%s" t.name Cache_config.pp t.l1
+    Cache_config.pp t.l2 t.page_bytes
+    (if t.hw_prefetch then " hw-prefetch" else "")

@@ -1,0 +1,32 @@
+(** Named machine presets matching the paper's two experimental platforms. *)
+
+type t = {
+  name : string;
+  l1 : Cache_config.t;
+  l2 : Cache_config.t;
+  latencies : Hierarchy.latencies;
+  page_bytes : int;
+  tlb : Tlb.config option;
+  hw_prefetch : bool;
+  mshrs : int;  (** outstanding prefetches (Table 1: 8) *)
+}
+
+val ultrasparc_e5000 : ?tlb:bool -> ?hw_prefetch:bool -> ?mshrs:int -> unit -> t
+(** Section 4.1's Sun Ultraserver E5000: 16 KB direct-mapped L1 with 16 B
+    blocks (write-through), 1 MB direct-mapped L2 with 64 B blocks,
+    t_h = 1, t_mL1 = 6, t_mL2 = 64, 8 KB pages.  Used for the tree
+    microbenchmark (Figure 5), the macrobenchmarks (Figure 6), and the
+    model validation (Figure 10). *)
+
+val rsim_table1 : ?tlb:bool -> ?hw_prefetch:bool -> ?mshrs:int -> unit -> t
+(** Table 1's RSIM configuration: 16 KB direct-mapped dual-ported
+    write-through L1, 256 KB 2-way write-back L2, 128 B lines for both,
+    L1 hit 1 cycle, L1 miss 9 cycles, L2 miss 60 cycles, 8 KB pages.
+    Used for the Olden benchmarks (Figure 7, Table 2). *)
+
+val tiny : ?hw_prefetch:bool -> ?mshrs:int -> unit -> t
+(** A deliberately small machine (64-set L1 of 16 B blocks, 256-set L2 of
+    64 B blocks) so unit tests can force capacity and conflict behaviour
+    cheaply.  Not a paper configuration. *)
+
+val pp : Format.formatter -> t -> unit

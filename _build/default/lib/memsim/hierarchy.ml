@@ -1,0 +1,146 @@
+type latencies = { l1_hit : int; l1_miss : int; l2_miss : int }
+
+type t = {
+  l1 : Cache.t;
+  l2 : Cache.t;
+  tlb : Tlb.t option;
+  lat : latencies;
+  hw_prefetch : bool;
+  mshrs : int;
+  (* L2-block base -> absolute cycle at which the fill completes *)
+  pending : (int, int) Hashtbl.t;
+  mutable hw_prefetches : int;
+  mutable dropped : int;
+  mutable consumed : int;  (* pending fills absorbed by demand accesses *)
+  mutable saved : int;  (* latency cycles those fills hid *)
+}
+
+let create ?tlb ?(hw_prefetch = false) ?(mshrs = 8) ~l1 ~l2 ~latencies () =
+  if l2.Cache_config.block_bytes < l1.Cache_config.block_bytes then
+    invalid_arg "Hierarchy.create: L2 blocks must be >= L1 blocks";
+  if mshrs < 1 then invalid_arg "Hierarchy.create: mshrs < 1";
+  {
+    l1 = Cache.create l1;
+    l2 = Cache.create l2;
+    tlb = Option.map Tlb.create tlb;
+    lat = latencies;
+    hw_prefetch;
+    mshrs;
+    pending = Hashtbl.create 32;
+    hw_prefetches = 0;
+    dropped = 0;
+    consumed = 0;
+    saved = 0;
+  }
+
+let l1 t = t.l1
+let l2 t = t.l2
+let tlb t = t.tlb
+let latencies t = t.lat
+let hw_prefetch_enabled t = t.hw_prefetch
+
+let l2_block_base t a =
+  Addr.block_base a ~block_bytes:(Cache.config t.l2).Cache_config.block_bytes
+
+let fill_latency t = t.lat.l1_miss + t.lat.l2_miss
+
+(* Retire pending fills that have completed by [now], installing them in
+   the L2 as the memory system would. *)
+let drain_completed t ~now =
+  let done_ = ref [] in
+  Hashtbl.iter (fun blk ready -> if ready <= now then done_ := blk :: !done_)
+    t.pending;
+  List.iter
+    (fun blk ->
+      Hashtbl.remove t.pending blk;
+      Cache.install t.l2 ~prefetch:true blk)
+    !done_
+
+let schedule t ~now a =
+  let blk = l2_block_base t a in
+  if not (Cache.probe t.l2 blk) && not (Hashtbl.mem t.pending blk) then begin
+    if Hashtbl.length t.pending >= t.mshrs then drain_completed t ~now;
+    if Hashtbl.length t.pending >= t.mshrs then t.dropped <- t.dropped + 1
+    else Hashtbl.replace t.pending blk (now + fill_latency t)
+  end
+
+let next_line_prefetch t ~now a =
+  let b = (Cache.config t.l2).Cache_config.block_bytes in
+  let next = l2_block_base t a + b in
+  if not (Cache.probe t.l2 next) && not (Hashtbl.mem t.pending next) then begin
+    if Hashtbl.length t.pending >= t.mshrs then drain_completed t ~now;
+    if Hashtbl.length t.pending < t.mshrs then begin
+      Hashtbl.replace t.pending next (now + fill_latency t);
+      t.hw_prefetches <- t.hw_prefetches + 1
+    end
+  end
+
+let access t ~now ~write a =
+  let tlb_cycles = match t.tlb with None -> 0 | Some tlb -> Tlb.access tlb a in
+  let cycles =
+    if Cache.access t.l1 ~write a then t.lat.l1_hit
+    else if Cache.access t.l2 ~write a then t.lat.l1_hit + t.lat.l1_miss
+    else begin
+      (* L2 miss; an in-flight prefetch absorbs part of the latency *)
+      let blk = l2_block_base t a in
+      match Hashtbl.find_opt t.pending blk with
+      | Some ready ->
+          Hashtbl.remove t.pending blk;
+          (* never worse than a plain demand miss: the controller simply
+             reissues the fetch if the prefetch is still far out *)
+          let remaining = min (max 0 (ready - now)) t.lat.l2_miss in
+          t.consumed <- t.consumed + 1;
+          t.saved <- t.saved + (t.lat.l2_miss - remaining);
+          t.lat.l1_hit + t.lat.l1_miss + remaining
+      | None ->
+          if t.hw_prefetch then next_line_prefetch t ~now a;
+          t.lat.l1_hit + t.lat.l1_miss + t.lat.l2_miss
+    end
+  in
+  cycles + tlb_cycles
+
+let access_range t ~now ~write a ~bytes =
+  if bytes <= 0 then invalid_arg "Hierarchy.access_range: bytes <= 0";
+  let b1 = (Cache.config t.l1).Cache_config.block_bytes in
+  let first = Addr.block_base a ~block_bytes:b1 in
+  let last = Addr.block_base (a + bytes - 1) ~block_bytes:b1 in
+  let total = ref 0 in
+  let blk = ref first in
+  while !blk <= last do
+    total := !total + access t ~now:(now + !total) ~write !blk;
+    blk := !blk + b1
+  done;
+  !total
+
+let prefetch t ~now a = schedule t ~now a
+let pending_prefetches t = Hashtbl.length t.pending
+
+let would_miss_l2 t a = (not (Cache.probe t.l1 a)) && not (Cache.probe t.l2 a)
+
+let clear t =
+  Cache.clear t.l1;
+  Cache.clear t.l2;
+  Hashtbl.reset t.pending;
+  Option.iter Tlb.clear t.tlb
+
+let reset_stats t =
+  Cache.reset_stats t.l1;
+  Cache.reset_stats t.l2;
+  Option.iter Tlb.reset_stats t.tlb;
+  (* measurement resets rebase the cycle clock; absolute ready times in
+     the prefetch queue would be wildly stale, so drop them *)
+  Hashtbl.reset t.pending;
+  t.hw_prefetches <- 0;
+  t.dropped <- 0;
+  t.consumed <- 0;
+  t.saved <- 0
+
+let hw_prefetches t = t.hw_prefetches
+let sw_prefetches_dropped t = t.dropped
+let prefetches_consumed t = (t.consumed, t.saved)
+
+let pp ppf t =
+  Format.fprintf ppf "L1[%a] L2[%a] lat=%d/%d/%d%s" Cache_config.pp
+    (Cache.config t.l1) Cache_config.pp (Cache.config t.l2) t.lat.l1_hit
+    t.lat.l1_miss t.lat.l2_miss
+    (if t.hw_prefetch then " +hw-prefetch" else "")

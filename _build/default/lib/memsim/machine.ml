@@ -1,0 +1,111 @@
+type t = {
+  cfg : Config.t;
+  mem : Memory.t;
+  hier : Hierarchy.t;
+  cost : Cost.t;
+  mutable brk : Addr.t;
+  mutable tracer : (bool -> Addr.t -> unit) option;
+}
+
+let create (cfg : Config.t) =
+  let hier =
+    Hierarchy.create ?tlb:cfg.tlb ~hw_prefetch:cfg.hw_prefetch
+      ~mshrs:cfg.mshrs ~l1:cfg.l1 ~l2:cfg.l2 ~latencies:cfg.latencies ()
+  in
+  {
+    cfg;
+    mem = Memory.create ();
+    hier;
+    cost = Cost.create ();
+    (* Start allocation at one page so address 0 stays null. *)
+    brk = cfg.page_bytes;
+    tracer = None;
+  }
+
+let config t = t.cfg
+let memory t = t.mem
+let hierarchy t = t.hier
+let cost t = t.cost
+let page_bytes t = t.cfg.page_bytes
+let l2_block_bytes t = t.cfg.l2.Cache_config.block_bytes
+let l1_block_bytes t = t.cfg.l1.Cache_config.block_bytes
+
+let reserve t ~bytes ~align =
+  if bytes <= 0 then invalid_arg "Machine.reserve: bytes <= 0";
+  let base = Addr.align_up t.brk align in
+  t.brk <- base + bytes;
+  base
+
+let reserve_pages t n = reserve t ~bytes:(n * t.cfg.page_bytes) ~align:t.cfg.page_bytes
+let reserved_bytes t = t.brk
+
+let charge_load t lat =
+  t.cost.Cost.busy <- t.cost.Cost.busy + 1;
+  t.cost.Cost.load_stall <- t.cost.Cost.load_stall + (lat - 1)
+
+let charge_store t lat =
+  t.cost.Cost.busy <- t.cost.Cost.busy + 1;
+  t.cost.Cost.store_stall <- t.cost.Cost.store_stall + (lat - 1)
+
+let now t = Cost.total t.cost
+
+let trace t write a =
+  match t.tracer with None -> () | Some f -> f write a
+
+let set_tracer t f = t.tracer <- f
+
+let load32 t a =
+  trace t false a;
+  charge_load t (Hierarchy.access t.hier ~now:(now t) ~write:false a);
+  Memory.load32 t.mem a
+
+let store32 t a v =
+  trace t true a;
+  charge_store t (Hierarchy.access t.hier ~now:(now t) ~write:true a);
+  Memory.store32 t.mem a v
+
+let load32s t a =
+  trace t false a;
+  charge_load t (Hierarchy.access t.hier ~now:(now t) ~write:false a);
+  Memory.load32s t.mem a
+
+let loadf t a =
+  trace t false a;
+  charge_load t (Hierarchy.access_range t.hier ~now:(now t) ~write:false a ~bytes:8);
+  Memory.loadf t.mem a
+
+let storef t a v =
+  trace t true a;
+  charge_store t (Hierarchy.access_range t.hier ~now:(now t) ~write:true a ~bytes:8);
+  Memory.storef t.mem a v
+
+let load_ptr = load32
+let store_ptr = store32
+let busy t n = t.cost.Cost.busy <- t.cost.Cost.busy + n
+
+let prefetch t a =
+  if not (Addr.is_null a) then begin
+    t.cost.Cost.prefetch_issue <- t.cost.Cost.prefetch_issue + 1;
+    Hierarchy.prefetch t.hier ~now:(now t) a
+  end
+
+let touch t ?(write = false) a ~bytes =
+  trace t write a;
+  let lat = Hierarchy.access_range t.hier ~now:(now t) ~write a ~bytes in
+  if write then charge_store t lat else charge_load t lat
+
+let uload32 t a = Memory.load32 t.mem a
+let ustore32 t a v = Memory.store32 t.mem a v
+let uload32s t a = Memory.load32s t.mem a
+let uloadf t a = Memory.loadf t.mem a
+let ustoref t a v = Memory.storef t.mem a v
+let cycles t = Cost.total t.cost
+let snapshot t = Cost.snapshot t.cost
+
+let reset_measurement t =
+  Cost.reset t.cost;
+  Hierarchy.reset_stats t.hier
+
+let cold_start t =
+  reset_measurement t;
+  Hierarchy.clear t.hier

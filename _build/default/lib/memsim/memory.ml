@@ -1,0 +1,99 @@
+type t = {
+  chunk_bytes : int;
+  chunk_shift : int;
+  mutable chunks : Bytes.t option array;
+  mutable materialized : int;
+}
+
+let create ?(chunk_bytes = 65536) () =
+  if not (Addr.is_pow2 chunk_bytes) then
+    invalid_arg "Memory.create: chunk_bytes must be a power of two";
+  {
+    chunk_bytes;
+    chunk_shift = Addr.log2 chunk_bytes;
+    chunks = Array.make 64 None;
+    materialized = 0;
+  }
+
+let chunk t a =
+  let i = a lsr t.chunk_shift in
+  if i >= Array.length t.chunks then begin
+    let n = Array.length t.chunks in
+    let n' = max (i + 1) (n * 2) in
+    let bigger = Array.make n' None in
+    Array.blit t.chunks 0 bigger 0 n;
+    t.chunks <- bigger
+  end;
+  match t.chunks.(i) with
+  | Some c -> c
+  | None ->
+      let c = Bytes.make t.chunk_bytes '\000' in
+      t.chunks.(i) <- Some c;
+      t.materialized <- t.materialized + 1;
+      c
+
+let off t a = a land (t.chunk_bytes - 1)
+
+(* Multi-byte accessors assume natural alignment, which all allocators in
+   this repository guarantee; the fast path never straddles a chunk. *)
+
+let load8 t a = Char.code (Bytes.get (chunk t a) (off t a))
+let store8 t a v = Bytes.set (chunk t a) (off t a) (Char.chr (v land 0xff))
+
+let load32 t a =
+  let o = off t a in
+  if o + 4 <= t.chunk_bytes then
+    Int32.to_int (Bytes.get_int32_le (chunk t a) o) land 0xffffffff
+  else
+    let b0 = load8 t a
+    and b1 = load8 t (a + 1)
+    and b2 = load8 t (a + 2)
+    and b3 = load8 t (a + 3) in
+    b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+
+let store32 t a v =
+  let o = off t a in
+  if o + 4 <= t.chunk_bytes then
+    Bytes.set_int32_le (chunk t a) o (Int32.of_int v)
+  else begin
+    store8 t a v;
+    store8 t (a + 1) (v lsr 8);
+    store8 t (a + 2) (v lsr 16);
+    store8 t (a + 3) (v lsr 24)
+  end
+
+let load32s t a =
+  let v = load32 t a in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let load64 t a =
+  let o = off t a in
+  if o + 8 <= t.chunk_bytes then Bytes.get_int64_le (chunk t a) o
+  else
+    let lo = Int64.of_int (load32 t a) in
+    let hi = Int64.of_int (load32 t (a + 4)) in
+    Int64.logor lo (Int64.shift_left hi 32)
+
+let store64 t a v =
+  let o = off t a in
+  if o + 8 <= t.chunk_bytes then Bytes.set_int64_le (chunk t a) o v
+  else begin
+    store32 t a (Int64.to_int (Int64.logand v 0xffffffffL));
+    store32 t (a + 4) (Int64.to_int (Int64.shift_right_logical v 32))
+  end
+
+let loadf t a = Int64.float_of_bits (load64 t a)
+let storef t a v = store64 t a (Int64.bits_of_float v)
+
+let blit t ~src ~dst ~bytes =
+  for i = 0 to bytes - 1 do
+    store8 t (dst + i) (load8 t (src + i))
+  done
+
+let fill_zero t a ~bytes =
+  for i = 0 to bytes - 1 do
+    store8 t (a + i) 0
+  done
+
+let chunks_allocated t = t.materialized
+let chunk_bytes t = t.chunk_bytes

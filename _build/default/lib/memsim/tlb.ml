@@ -1,0 +1,83 @@
+type config = {
+  entries : int;
+  assoc : int;
+  page_bytes : int;
+  miss_penalty : int;
+}
+
+type t = {
+  cfg : config;
+  sets : int;
+  pages : int array;  (* -1 = invalid *)
+  last_use : int array;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let default_config ~page_bytes =
+  (* 64-entry fully associative dTLB; UltraSPARC handles misses with a
+     software trap costing a few tens of cycles *)
+  { entries = 64; assoc = 64; page_bytes; miss_penalty = 40 }
+
+let create cfg =
+  if not (Addr.is_pow2 cfg.entries) then
+    invalid_arg "Tlb.create: entries must be a power of two";
+  if cfg.entries mod cfg.assoc <> 0 then
+    invalid_arg "Tlb.create: assoc must divide entries";
+  let sets = cfg.entries / cfg.assoc in
+  {
+    cfg;
+    sets;
+    pages = Array.make cfg.entries (-1);
+    last_use = Array.make cfg.entries 0;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let config t = t.cfg
+
+let access t a =
+  let page = Addr.page_index a ~page_bytes:t.cfg.page_bytes in
+  let set = page land (t.sets - 1) in
+  let base = set * t.cfg.assoc in
+  let found = ref (-1) in
+  for w = 0 to t.cfg.assoc - 1 do
+    if !found < 0 && t.pages.(base + w) = page then found := base + w
+  done;
+  t.tick <- t.tick + 1;
+  if !found >= 0 then begin
+    t.last_use.(!found) <- t.tick;
+    t.hits <- t.hits + 1;
+    0
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* replace invalid way if any, else LRU *)
+    let victim = ref base in
+    let invalid = ref (t.pages.(base) = -1) in
+    for w = 1 to t.cfg.assoc - 1 do
+      let i = base + w in
+      if not !invalid then
+        if t.pages.(i) = -1 then begin
+          victim := i;
+          invalid := true
+        end
+        else if t.last_use.(i) < t.last_use.(!victim) then victim := i
+    done;
+    t.pages.(!victim) <- page;
+    t.last_use.(!victim) <- t.tick;
+    t.cfg.miss_penalty
+  end
+
+let hits t = t.hits
+let misses t = t.misses
+
+let clear t =
+  Array.fill t.pages 0 (Array.length t.pages) (-1);
+  Array.fill t.last_use 0 (Array.length t.last_use) 0
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

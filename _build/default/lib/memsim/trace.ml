@@ -1,0 +1,64 @@
+type kind = Load | Store
+
+type t = {
+  mutable kinds : Bytes.t;  (* 0 = load, 1 = store *)
+  mutable addrs : int array;
+  mutable len : int;
+}
+
+let create () = { kinds = Bytes.create 4096; addrs = Array.make 4096 0; len = 0 }
+let length t = t.len
+
+let record t kind addr =
+  if t.len = Array.length t.addrs then begin
+    let n = t.len * 2 in
+    let kinds = Bytes.create n in
+    Bytes.blit t.kinds 0 kinds 0 t.len;
+    let addrs = Array.make n 0 in
+    Array.blit t.addrs 0 addrs 0 t.len;
+    t.kinds <- kinds;
+    t.addrs <- addrs
+  end;
+  Bytes.unsafe_set t.kinds t.len (if kind = Store then '\001' else '\000');
+  t.addrs.(t.len) <- addr;
+  t.len <- t.len + 1
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f
+      (if Bytes.unsafe_get t.kinds i = '\001' then Store else Load)
+      t.addrs.(i)
+  done
+
+type replay_result = {
+  accesses : int;
+  l1_misses : int;
+  l2_misses : int;
+  cycles : int;
+}
+
+let replay t ~l1 ~l2 ~latencies =
+  let h = Hierarchy.create ~l1 ~l2 ~latencies () in
+  let cycles = ref 0 in
+  iter t (fun kind addr ->
+      cycles :=
+        !cycles + Hierarchy.access h ~now:!cycles ~write:(kind = Store) addr);
+  let s1 = Cache.stats (Hierarchy.l1 h) and s2 = Cache.stats (Hierarchy.l2 h) in
+  {
+    accesses = t.len;
+    l1_misses = Cache.misses s1;
+    l2_misses = Cache.misses s2;
+    cycles = !cycles;
+  }
+
+let miss_rate_curve t ~block_bytes ~assoc ~capacities =
+  List.map
+    (fun capacity ->
+      let cfg =
+        Cache_config.of_capacity ~name:"curve" ~capacity_bytes:capacity ~assoc
+          ~block_bytes ()
+      in
+      let c = Cache.create cfg in
+      iter t (fun kind addr -> ignore (Cache.access c ~write:(kind = Store) addr));
+      (capacity, Cache.miss_rate (Cache.stats c)))
+    capacities

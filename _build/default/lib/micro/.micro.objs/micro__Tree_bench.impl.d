@@ -1,0 +1,1 @@
+lib/micro/tree_bench.ml: Alloc Array Ccsl List Memsim Structures Workload

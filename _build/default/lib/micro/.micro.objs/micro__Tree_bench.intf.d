@@ -1,0 +1,1 @@
+lib/micro/tree_bench.mli:

@@ -1,0 +1,1 @@
+lib/olden/common.ml: Alloc Ccsl Format Memsim

@@ -1,0 +1,1 @@
+lib/olden/common.mli: Alloc Ccsl Format Memsim

@@ -1,0 +1,1 @@
+lib/olden/health.ml: Alloc Array Ccsl Common List Memsim Structures Workload

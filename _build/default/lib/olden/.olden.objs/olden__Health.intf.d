@@ -1,0 +1,1 @@
+lib/olden/health.mli: Common Memsim

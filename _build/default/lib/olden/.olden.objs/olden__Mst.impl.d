@@ -1,0 +1,1 @@
+lib/olden/mst.ml: Alloc Array Ccsl Common Hashtbl List Memsim Structures Workload

@@ -1,0 +1,1 @@
+lib/olden/mst.mli: Common Memsim

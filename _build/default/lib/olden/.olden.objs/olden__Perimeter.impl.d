@@ -1,0 +1,1 @@
+lib/olden/perimeter.ml: Array Ccsl Common Memsim Structures

@@ -1,0 +1,1 @@
+lib/olden/perimeter.mli: Common Memsim

@@ -1,0 +1,1 @@
+lib/olden/treeadd.ml: Alloc Ccsl Common Memsim

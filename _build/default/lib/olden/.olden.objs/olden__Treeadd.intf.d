@@ -1,0 +1,1 @@
+lib/olden/treeadd.mli: Common Memsim

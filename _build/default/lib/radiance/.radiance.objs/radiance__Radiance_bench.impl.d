@@ -1,0 +1,1 @@
+lib/radiance/radiance_bench.ml: Alloc Ccsl Memsim Scene Structures Tracer

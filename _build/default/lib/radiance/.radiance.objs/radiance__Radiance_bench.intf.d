@@ -1,0 +1,1 @@
+lib/radiance/radiance_bench.mli: Memsim

@@ -1,0 +1,1 @@
+lib/radiance/scene.ml: List Memsim Structures Workload

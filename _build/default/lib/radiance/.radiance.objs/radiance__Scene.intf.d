@@ -1,0 +1,1 @@
+lib/radiance/scene.mli: Structures

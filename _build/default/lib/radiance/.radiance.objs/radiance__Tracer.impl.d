@@ -1,0 +1,1 @@
+lib/radiance/tracer.ml: Array Memsim Structures Workload

@@ -1,0 +1,1 @@
+lib/radiance/tracer.mli: Structures

@@ -1,0 +1,101 @@
+module Machine = Memsim.Machine
+module Config = Memsim.Config
+module Octree = Structures.Octree
+
+type placement = Base | Ccmorph_cluster | Ccmorph_cluster_color
+
+let placement_name = function
+  | Base -> "base (depth-first octree)"
+  | Ccmorph_cluster -> "ccmorph clustering"
+  | Ccmorph_cluster_color -> "ccmorph clustering+coloring"
+
+type params = {
+  scene_size : int;
+  spheres : int;
+  width : int;
+  height : int;
+  step : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    scene_size = 512;
+    spheres = 24;
+    width = 96;
+    height = 96;
+    step = 4;
+    seed = 11;
+  }
+
+type result = {
+  p_label : string;
+  cycles : int;  (** morph + one render *)
+  morph_cycles : int;
+  render_cycles : int;
+  snapshot : Memsim.Cost.snapshot;  (** of the render phase *)
+  l1_miss_rate : float;
+  l2_miss_rate : float;
+  checksum : int;
+  octree_blocks : int;
+}
+
+let amortized r ~base ~frames =
+  float_of_int (r.morph_cycles + (frames * r.render_cycles))
+  /. float_of_int (frames * base.render_cycles)
+
+let crossover_frames r ~base =
+  (* renders needed before morph + renders beats plain renders *)
+  let gain = base.render_cycles - r.render_cycles in
+  if gain <= 0 then None
+  else Some ((r.morph_cycles + gain - 1) / gain)
+
+let run ?(params = default_params) placement =
+  let m = Machine.create (Config.ultrasparc_e5000 ~tlb:true ()) in
+  let scene =
+    Scene.generate ~seed:params.seed ~size:params.scene_size
+      ~spheres:params.spheres ()
+  in
+  (* RADIANCE's own layout: depth-first construction through malloc *)
+  let alloc = Alloc.Malloc.allocator (Alloc.Malloc.create m) in
+  let oct =
+    Octree.build m ~alloc ~size:params.scene_size
+      ~oracle:(fun ~x ~y ~z ~size -> Scene.oracle scene ~x ~y ~z ~size)
+  in
+  (* Construction is start-up; reorganization and render are measured
+     (separately, so the harness can also report the paper-style
+     steady-state ratio and the frame count at which the one-time morph
+     amortizes). *)
+  Machine.reset_measurement m;
+  (match placement with
+  | Base -> ()
+  | Ccmorph_cluster | Ccmorph_cluster_color ->
+      let params' =
+        {
+          Ccsl.Ccmorph.default_params with
+          Ccsl.Ccmorph.color = placement = Ccmorph_cluster_color;
+        }
+      in
+      let r = Ccsl.Ccmorph.morph ~params:params' m Octree.desc ~root:oct.Octree.root in
+      Octree.set_root oct r.Ccsl.Ccmorph.new_root);
+  let morph_cycles = Machine.cycles m in
+  Machine.reset_measurement m;
+  let img =
+    Tracer.render oct ~scene_size:params.scene_size ~width:params.width
+      ~height:params.height ~step:params.step
+  in
+  let render_cycles = Machine.cycles m in
+  let h = Machine.hierarchy m in
+  {
+    p_label = placement_name placement;
+    cycles = morph_cycles + render_cycles;
+    morph_cycles;
+    render_cycles;
+    snapshot = Machine.snapshot m;
+    l1_miss_rate =
+      Memsim.Cache.miss_rate (Memsim.Cache.stats (Memsim.Hierarchy.l1 h));
+    l2_miss_rate =
+      Memsim.Cache.miss_rate (Memsim.Cache.stats (Memsim.Hierarchy.l2 h));
+    checksum = Tracer.checksum img;
+    octree_blocks = oct.Octree.blocks;
+  }

@@ -1,0 +1,49 @@
+(** The RADIANCE macrobenchmark proxy (paper Section 4.3, Figure 6).
+
+    RADIANCE's primary structure is a highly optimized octree laid out in
+    depth-first order; the paper changed it to use subtree clustering and
+    colored it, obtaining a 42% speedup, and notes that the reported
+    results {e include} the reorganization overhead.  [ccmalloc] made no
+    sense there (the base structure is already allocation-compacted), so
+    the placements here are base vs. [ccmorph]. *)
+
+type placement = Base | Ccmorph_cluster | Ccmorph_cluster_color
+
+val placement_name : placement -> string
+
+type params = {
+  scene_size : int;  (** cube side; power of two *)
+  spheres : int;
+  width : int;
+  height : int;
+  step : int;
+  seed : int;
+}
+
+val default_params : params
+
+type result = {
+  p_label : string;
+  cycles : int;  (** morph + one render *)
+  morph_cycles : int;  (** 0 for [Base] *)
+  render_cycles : int;
+  snapshot : Memsim.Cost.snapshot;  (** of the render phase *)
+  l1_miss_rate : float;
+  l2_miss_rate : float;
+  checksum : int;  (** image digest; placement-invariant *)
+  octree_blocks : int;  (** kid blocks in the octree *)
+}
+
+val amortized : result -> base:result -> frames:int -> float
+(** Normalized cost of [frames] renders including the one-time morph,
+    relative to [frames] base renders.  As [frames] grows this tends to
+    the steady-state ratio, which is what the paper's 42% speedup (a
+    full RADIANCE run renders for hours) corresponds to. *)
+
+val crossover_frames : result -> base:result -> int option
+(** How many renders it takes for the reorganization to pay for itself;
+    [None] if the reorganized render is not faster. *)
+
+val run : ?params:params -> placement -> result
+(** Build the octree (start-up, untimed), then measure reorganization
+    and render phases on the UltraSPARC E5000 with TLB. *)

@@ -1,0 +1,70 @@
+module Rng = Workload.Rng
+module Octree = Structures.Octree
+
+type sphere = { cx : int; cy : int; cz : int; r : int; value : int }
+type t = { size : int; spheres : sphere list }
+
+let generate ?(seed = 11) ~size ~spheres () =
+  if not (Memsim.Addr.is_pow2 size) then
+    invalid_arg "Scene.generate: size must be a power of two";
+  let rng = Rng.create seed in
+  let sph _ =
+    let r = (size / 24) + Rng.int rng (max 1 ((size / 10) - (size / 24))) in
+    {
+      cx = Rng.int rng size;
+      cy = Rng.int rng size;
+      cz = Rng.int rng size;
+      r;
+      value = 1 + Rng.int rng 100;
+    }
+  in
+  { size; spheres = List.init spheres sph }
+
+let inside s x y z =
+  let dx = x - s.cx and dy = y - s.cy and dz = z - s.cz in
+  (dx * dx) + (dy * dy) + (dz * dz) <= s.r * s.r
+
+let value_at t ~x ~y ~z =
+  let rec go = function
+    | [] -> 0
+    | s :: rest -> if inside s x y z then s.value else go rest
+  in
+  go t.spheres
+
+(* Distance classification of a cube against a sphere: all-in iff every
+   corner is inside (spheres are convex); all-out iff the closest point
+   of the cube to the centre is outside. *)
+let cube_vs_sphere s ~x ~y ~z ~size =
+  let clamp v lo hi = max lo (min hi v) in
+  let nx = clamp s.cx x (x + size)
+  and ny = clamp s.cy y (y + size)
+  and nz = clamp s.cz z (z + size) in
+  if not (inside s nx ny nz) then `Out
+  else begin
+    let all_in = ref true in
+    for i = 0 to 7 do
+      let cx = x + (if i land 1 = 1 then size else 0) in
+      let cy = y + (if i land 2 = 2 then size else 0) in
+      let cz = z + (if i land 4 = 4 then size else 0) in
+      if not (inside s cx cy cz) then all_in := false
+    done;
+    if !all_in then `In else `Mixed
+  end
+
+let oracle t ~x ~y ~z ~size =
+  if size = 1 then begin
+    match value_at t ~x ~y ~z with 0 -> Octree.Empty | v -> Octree.Full v
+  end
+  else begin
+    (* first sphere fully covering the cube wins; any partial overlap
+       forces subdivision *)
+    let rec go = function
+      | [] -> Octree.Empty
+      | s :: rest -> (
+          match cube_vs_sphere s ~x ~y ~z ~size with
+          | `In -> Octree.Full s.value
+          | `Mixed -> Octree.Mixed
+          | `Out -> go rest)
+    in
+    go t.spheres
+  end

@@ -1,0 +1,27 @@
+(** Synthetic 3-D scenes for the RADIANCE proxy: a cubic volume
+    containing emissive spheres, voxelized into an {!Structures.Octree}.
+
+    The real RADIANCE builds an octree over a geometric model of an
+    illuminated space and spends its time traversing it; the proxy keeps
+    that structure and access pattern with a deterministic, generated
+    scene. *)
+
+type sphere = { cx : int; cy : int; cz : int; r : int; value : int }
+
+type t = {
+  size : int;  (** cube side; power of two *)
+  spheres : sphere list;
+}
+
+val generate : ?seed:int -> size:int -> spheres:int -> unit -> t
+(** Deterministic scene: sphere centres, radii in [size/24, size/10], and
+    emissivity values in [1, 100] drawn from a seeded {!Workload.Rng}. *)
+
+val value_at : t -> x:int -> y:int -> z:int -> int
+(** Emissivity at a point: value of the first sphere (in list order)
+    containing it, 0 in empty space. *)
+
+val oracle :
+  t -> x:int -> y:int -> z:int -> size:int -> Structures.Octree.voxel
+(** Octree subdivision oracle: classifies an axis-aligned sub-cube
+    (uniform value, empty, or mixed). *)

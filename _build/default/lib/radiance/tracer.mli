@@ -1,0 +1,21 @@
+(** Ray-marching renderer over the simulated-heap octree — the RADIANCE
+    proxy's compute kernel.
+
+    An orthographic camera on the z = 0 face shoots one ray per image
+    pixel down +z, sampling the octree at fixed steps until it hits an
+    emissive voxel; eight scattered ambient rays (RADIANCE's irradiance
+    gathering) then march from the hit point in fixed pseudo-random
+    directions.  Every sample is a root-to-leaf point location in the
+    octree, and the scattered secondaries destroy inter-sample
+    coherence, so render time is dominated by irregular octree
+    traversal, as in RADIANCE itself. *)
+
+type image = { width : int; height : int; pixels : int array }
+
+val render :
+  Structures.Octree.t -> scene_size:int -> width:int -> height:int ->
+  step:int -> image
+(** Timed render.  [step] is the marching stride in voxels. *)
+
+val checksum : image -> int
+(** Order-independent digest of the pixel values. *)

@@ -1,0 +1,1 @@
+lib/structures/bdd.ml: Alloc Hashtbl List Memsim

@@ -1,0 +1,1 @@
+lib/structures/bdd.mli: Alloc Memsim

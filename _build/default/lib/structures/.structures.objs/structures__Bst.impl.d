@@ -1,0 +1,1 @@
+lib/structures/bst.ml: Alloc Array Ccsl List Memsim Queue Workload

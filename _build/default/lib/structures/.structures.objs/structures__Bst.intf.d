@@ -1,0 +1,1 @@
+lib/structures/bst.mli: Alloc Ccsl Memsim Workload

@@ -1,0 +1,1 @@
+lib/structures/btree.ml: Alloc Array Ccsl List Memsim Printf Queue

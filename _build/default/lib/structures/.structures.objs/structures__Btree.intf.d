@@ -1,0 +1,1 @@
+lib/structures/btree.mli: Memsim

@@ -1,0 +1,1 @@
+lib/structures/hash_chain.ml: Alloc Array Memsim

@@ -1,0 +1,1 @@
+lib/structures/linked_list.ml: Alloc Ccsl List Memsim

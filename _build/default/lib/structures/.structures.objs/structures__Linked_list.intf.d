@@ -1,0 +1,1 @@
+lib/structures/linked_list.mli: Alloc Ccsl Memsim

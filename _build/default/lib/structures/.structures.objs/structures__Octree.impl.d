@@ -1,0 +1,1 @@
+lib/structures/octree.ml: Alloc Ccsl Memsim

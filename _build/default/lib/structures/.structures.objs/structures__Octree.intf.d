@@ -1,0 +1,1 @@
+lib/structures/octree.mli: Alloc Ccsl Memsim

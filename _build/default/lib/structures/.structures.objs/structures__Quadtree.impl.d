@@ -1,0 +1,1 @@
+lib/structures/quadtree.ml: Alloc Ccsl Memsim

@@ -1,0 +1,1 @@
+lib/structures/quadtree.mli: Alloc Ccsl Memsim

@@ -1,0 +1,334 @@
+module A = Memsim.Addr
+module Machine = Memsim.Machine
+
+type t = {
+  m : Machine.t;
+  root : A.t;
+  n : int;
+  max_keys : int;
+  height : int;
+  nodes : int;
+  grow : unit -> A.t;  (* block-aligned allocator for inserted nodes *)
+}
+
+(* 64-bit ABI node geometry (the paper's UltraSPARC): count word, 4-byte
+   keys, and 8-byte child-pointer slots -> 4 + 4k + 8(k+1) <= b. *)
+let max_keys_for ~block_bytes = (block_bytes - 12) / 12
+
+(* OCaml-side node used during bulk-load, before placement. *)
+type build_node = {
+  keys : int array;
+  kids : build_node array;
+  mutable addr : A.t;
+}
+
+let rec capacity ~target ~h =
+  if h = 0 then target else target + ((target + 1) * capacity ~target ~h:(h - 1))
+
+let rec build_level keys lo len ~target ~h =
+  if h = 0 then { keys = Array.sub keys lo len; kids = [||]; addr = A.null }
+  else begin
+    let cap_child = capacity ~target ~h:(h - 1) in
+    (* smallest child count with c*cap + (c-1) >= len, at least 2 *)
+    let c = max 2 ((len + cap_child + 1) / (cap_child + 1)) in
+    let sub_total = len - (c - 1) in
+    let base = sub_total / c and extra = sub_total mod c in
+    let seps = Array.make (c - 1) 0 in
+    let kids =
+      Array.init c (fun _ -> { keys = [||]; kids = [||]; addr = A.null })
+    in
+    let pos = ref lo in
+    for i = 0 to c - 1 do
+      let sz = base + (if i < extra then 1 else 0) in
+      assert (sz >= 1);
+      kids.(i) <- build_level keys !pos sz ~target ~h:(h - 1);
+      pos := !pos + sz;
+      if i < c - 1 then begin
+        seps.(i) <- keys.(!pos);
+        incr pos
+      end
+    done;
+    { keys = seps; kids; addr = A.null }
+  end
+
+let build ?(fill_factor = 0.7) ?(colored = true) ?(color_frac = 0.5) m ~keys =
+  let n = Array.length keys in
+  if n = 0 then invalid_arg "Btree.build: empty key set";
+  for i = 1 to n - 1 do
+    if keys.(i - 1) >= keys.(i) then
+      invalid_arg "Btree.build: keys must be sorted and unique"
+  done;
+  let block_bytes = Machine.l2_block_bytes m in
+  let max_keys = max_keys_for ~block_bytes in
+  if max_keys < 2 then invalid_arg "Btree.build: block too small";
+  if fill_factor <= 0. || fill_factor > 1. then
+    invalid_arg "Btree.build: fill_factor out of (0, 1]";
+  let target = max 2 (int_of_float (float_of_int max_keys *. fill_factor)) in
+  let height =
+    let rec go h = if capacity ~target ~h >= n then h else go (h + 1) in
+    go 0
+  in
+  let root = build_level keys 0 n ~target ~h:height in
+  (* Assign one block-aligned address per node, breadth-first, so the top
+     of the tree claims the colored hot region first. *)
+  let order = ref [] in
+  let q = Queue.create () in
+  Queue.add root q;
+  let count = ref 0 in
+  while not (Queue.is_empty q) do
+    let nd = Queue.pop q in
+    order := nd :: !order;
+    incr count;
+    Array.iter (fun k -> Queue.add k q) nd.kids
+  done;
+  let order = List.rev !order in
+  if colored then begin
+    let coloring =
+      Ccsl.Coloring.v ~color_frac
+        ~l2:(Machine.config m).Memsim.Config.l2
+        ~page_bytes:(Machine.page_bytes m) ()
+    in
+    let ar = Ccsl.Coloring.arenas m coloring in
+    let cap = Ccsl.Coloring.hot_capacity_blocks coloring in
+    List.iteri
+      (fun i nd ->
+        nd.addr <-
+          (if i < cap then Ccsl.Coloring.next_hot_block ar
+           else Ccsl.Coloring.next_cold_block ar))
+      order
+  end
+  else begin
+    let bump = Alloc.Bump.create ~name:"btree" m in
+    List.iter
+      (fun nd -> nd.addr <- Alloc.Bump.alloc bump ~align:block_bytes block_bytes)
+      order
+  end;
+  (* Write the nodes; child pointers occupy 8-byte slots (we store the
+     address in the low word). *)
+  let kid_base = 4 + (4 * max_keys) in
+  List.iter
+    (fun nd ->
+      let a = nd.addr in
+      Machine.ustore32 m a (Array.length nd.keys);
+      Array.iteri (fun i k -> Machine.ustore32 m (a + 4 + (4 * i)) k) nd.keys;
+      Array.iteri
+        (fun i kid -> Machine.ustore32 m (a + kid_base + (8 * i)) kid.addr)
+        nd.kids)
+    order;
+  let grow =
+    let bump = Alloc.Bump.create ~name:"btree-grow" m in
+    fun () -> Alloc.Bump.alloc bump ~align:block_bytes block_bytes
+  in
+  { m; root = root.addr; n; max_keys; height; nodes = !count; grow }
+
+let kid_base t = 4 + (4 * t.max_keys)
+
+let search t key =
+  let m = t.m in
+  let rec walk node =
+    if A.is_null node then false
+    else begin
+      let count = Machine.load32 m node in
+      (* linear scan, one timed load per examined key *)
+      let rec scan i =
+        if i >= count then `Descend count
+        else
+          let k = Machine.load32s m (node + 4 + (4 * i)) in
+          if key = k then `Found
+          else if key < k then `Descend i
+          else scan (i + 1)
+      in
+      match scan 0 with
+      | `Found -> true
+      | `Descend i -> walk (Machine.load_ptr m (node + kid_base t + (8 * i)))
+    end
+  in
+  walk t.root
+
+let mem_oracle t key =
+  let m = t.m in
+  let rec walk node =
+    if A.is_null node then false
+    else begin
+      let count = Machine.uload32 m node in
+      let rec scan i =
+        if i >= count then `Descend count
+        else
+          let k = Machine.uload32s m (node + 4 + (4 * i)) in
+          if key = k then `Found
+          else if key < k then `Descend i
+          else scan (i + 1)
+      in
+      match scan 0 with
+      | `Found -> true
+      | `Descend i -> walk (Machine.uload32 m (node + kid_base t + (8 * i)))
+    end
+  in
+  walk t.root
+
+let to_sorted_list t =
+  let m = t.m in
+  let rec go node acc =
+    if A.is_null node then acc
+    else begin
+      let count = Machine.uload32 m node in
+      let rec fold i acc =
+        (* fold children/keys right-to-left to build the list in order *)
+        if i < 0 then acc
+        else
+          let acc = go (Machine.uload32 m (node + kid_base t + (8 * i))) acc in
+          if i = 0 then acc
+          else
+            let k = Machine.uload32s m (node + 4 + (4 * (i - 1))) in
+            fold (i - 1) (k :: acc)
+      in
+      fold count acc
+    end
+  in
+  go t.root []
+
+let check_invariants t =
+  let m = t.m in
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let leaf_depths = ref [] in
+  let rec go node depth lo hi =
+    let count = Machine.uload32 m node in
+    if count < 1 || count > t.max_keys then fail "node key count %d" count;
+    let keys = Array.init count (fun i -> Machine.uload32s m (node + 4 + (4 * i))) in
+    Array.iteri
+      (fun i k ->
+        (match lo with Some l when k <= l -> fail "key below bound" | _ -> ());
+        (match hi with Some h when k >= h -> fail "key above bound" | _ -> ());
+        if i > 0 && keys.(i - 1) >= k then fail "keys unsorted in node")
+      keys;
+    let kid i = Machine.uload32 m (node + kid_base t + (8 * i)) in
+    if A.is_null (kid 0) then begin
+      for i = 1 to count do
+        if not (A.is_null (kid i)) then fail "leaf with child"
+      done;
+      leaf_depths := depth :: !leaf_depths
+    end
+    else
+      for i = 0 to count do
+        if A.is_null (kid i) then fail "internal node missing child %d" i;
+        let lo' = if i = 0 then lo else Some keys.(i - 1) in
+        let hi' = if i = count then hi else Some keys.(i) in
+        go (kid i) (depth + 1) lo' hi'
+      done
+  in
+  go t.root 0 None None;
+  match !leaf_depths with
+  | [] -> fail "no leaves"
+  | d :: rest -> if List.exists (fun x -> x <> d) rest then fail "ragged leaves"
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic insertion (classic pre-emptive splitting)                   *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_node t =
+  let a = t.grow () in
+  Machine.store32 t.m a 0;
+  for i = 0 to t.max_keys do
+    Machine.store_ptr t.m (a + kid_base t + (8 * i)) A.null
+  done;
+  a
+
+let create_empty m =
+  let block_bytes = Machine.l2_block_bytes m in
+  let max_keys = max_keys_for ~block_bytes in
+  if max_keys < 2 then invalid_arg "Btree.create_empty: block too small";
+  let grow =
+    let bump = Alloc.Bump.create ~name:"btree-grow" m in
+    fun () -> Alloc.Bump.alloc bump ~align:block_bytes block_bytes
+  in
+  let t = { m; root = A.null; n = 0; max_keys; height = 0; nodes = 1; grow } in
+  let root = fresh_node t in
+  { t with root }
+
+(* timed field helpers *)
+let count_of t node = Machine.load32 t.m node
+let set_count t node c = Machine.store32 t.m node c
+let key_at t node i = Machine.load32s t.m (node + 4 + (4 * i))
+let set_key t node i k = Machine.store32 t.m (node + 4 + (4 * i)) k
+let kid_at t node i = Machine.load_ptr t.m (node + kid_base t + (8 * i))
+let set_kid t node i a = Machine.store_ptr t.m (node + kid_base t + (8 * i)) a
+let is_leaf t node = A.is_null (kid_at t node 0)
+
+(* Split the full i-th child of [node] (which has room).  The median key
+   moves up into [node]; the right half moves to a fresh sibling. *)
+let split_child t node i =
+  let child = kid_at t node i in
+  let mk = t.max_keys in
+  let mid = mk / 2 in
+  let right = fresh_node t in
+  let leaf = is_leaf t child in
+  (* move keys mid+1 .. mk-1 into [right] *)
+  for j = mid + 1 to mk - 1 do
+    set_key t right (j - mid - 1) (key_at t child j)
+  done;
+  if not leaf then
+    for j = mid + 1 to mk do
+      set_kid t right (j - mid - 1) (kid_at t child j);
+      set_kid t child j A.null
+    done;
+  set_count t right (mk - mid - 1);
+  let median = key_at t child mid in
+  set_count t child mid;
+  (* shift [node]'s keys and kids right of position i *)
+  let c = count_of t node in
+  for j = c - 1 downto i do
+    set_key t node (j + 1) (key_at t node j)
+  done;
+  for j = c downto i + 1 do
+    set_kid t node (j + 1) (kid_at t node j)
+  done;
+  set_key t node i median;
+  set_kid t node (i + 1) right;
+  set_count t node (c + 1)
+
+let rec insert_nonfull t node key =
+  let c = count_of t node in
+  (* position of the first key >= key; duplicates bail out *)
+  let rec pos i =
+    if i >= c then (i, false)
+    else
+      let k = key_at t node i in
+      if key = k then (i, true) else if key < k then (i, false) else pos (i + 1)
+  in
+  let i, dup = pos 0 in
+  if dup then false
+  else if is_leaf t node then begin
+    for j = c - 1 downto i do
+      set_key t node (j + 1) (key_at t node j)
+    done;
+    set_key t node i key;
+    set_count t node (c + 1);
+    true
+  end
+  else begin
+    let i =
+      if count_of t (kid_at t node i) = t.max_keys then begin
+        split_child t node i;
+        (* re-aim around the promoted median *)
+        let k = key_at t node i in
+        if key = k then -1 else if key > k then i + 1 else i
+      end
+      else i
+    in
+    if i < 0 then false else insert_nonfull t (kid_at t node i) key
+  end
+
+let insert t key =
+  let t =
+    if count_of t t.root = t.max_keys then begin
+      (* grow a new root above the full one *)
+      let root = fresh_node t in
+      set_kid t root 0 t.root;
+      let t = { t with root; height = t.height + 1; nodes = t.nodes + 1 } in
+      split_child t root 0;
+      t
+    end
+    else t
+  in
+  if insert_nonfull t t.root key then { t with n = t.n + 1; nodes = t.nodes }
+  else t

@@ -1,0 +1,61 @@
+(** In-core B-trees, the microbenchmark's strongest competitor
+    (Figure 5).
+
+    Each node occupies exactly one L2 cache block, block-aligned, with
+    the paper's 64-bit UltraSPARC field sizes: 4-byte keys and 8-byte
+    child pointers, so a 64-byte block holds up to 4 keys and 5 children
+    ([4 + 4k + 8(k+1) <= b]).  Nodes are
+    deliberately bulk-loaded at a [fill_factor] below 1.0 because, as the
+    paper observes, "B-trees reserve extra space in tree nodes to handle
+    insertion gracefully and hence do not manage cache space as
+    efficiently as transparent C-trees".  The tree can be colored so its
+    top levels map to the hot cache region.
+
+    Node layout for block size [b] with [K = (b-12)/12] max keys:
+    {v
+      offset 0            : key count
+      offset 4 .. 4+4K    : keys (sorted, signed 32-bit)
+      offset 4+4K .. b    : K+1 child pointers in 8-byte slots
+                            (all null in leaves)
+    v} *)
+
+type t = {
+  m : Memsim.Machine.t;
+  root : Memsim.Addr.t;
+  n : int;
+  max_keys : int;
+  height : int;  (** 0 = the root is a leaf *)
+  nodes : int;
+  grow : unit -> Memsim.Addr.t;
+      (** block-aligned source for nodes created by {!insert} *)
+}
+
+val max_keys_for : block_bytes:int -> int
+
+val build :
+  ?fill_factor:float -> ?colored:bool -> ?color_frac:float ->
+  Memsim.Machine.t -> keys:int array -> t
+(** Bulk-load a B-tree over sorted unique [keys].  [fill_factor]
+    (default 0.7) sets the target node occupancy; [colored] (default
+    true) places nodes breadth-first into the colored hot region until it
+    is full, then into the cold region.
+    @raise Invalid_argument on unsorted keys or degenerate parameters. *)
+
+val search : t -> int -> bool
+(** Timed search. *)
+
+val create_empty : Memsim.Machine.t -> t
+(** An empty tree (a root leaf with no keys), ready for {!insert}. *)
+
+val insert : t -> int -> t
+(** Timed insertion with pre-emptive node splitting (new nodes come from
+    a block-aligned arena, i.e. they are {e not} colored — exactly the
+    graceful-degradation behaviour the paper credits B-trees with).
+    Duplicates are ignored.  Returns the tree (the root may change). *)
+
+val mem_oracle : t -> int -> bool
+val to_sorted_list : t -> int list
+
+val check_invariants : t -> unit
+(** Untimed: key ordering within and across nodes, children counts,
+    uniform leaf depth, fill bounds.  @raise Failure when violated. *)

@@ -1,0 +1,97 @@
+module A = Memsim.Addr
+module Machine = Memsim.Machine
+
+type voxel = Empty | Full of int | Mixed
+
+type t = {
+  m : Machine.t;
+  mutable root : A.t;
+  size : int;
+  mutable blocks : int;
+}
+
+let elem_bytes = 32
+
+let desc =
+  {
+    Ccsl.Ccmorph.elem_bytes;
+    kid_offsets = [| 0; 4; 8; 12; 16; 20; 24; 28 |];
+    parent_offset = None;
+    kid_filter = Some (fun w -> w land 1 = 0);
+  }
+
+let build ?(hint_parent = false) m ~alloc ~size ~oracle =
+  if not (A.is_pow2 size) || size < 2 then
+    invalid_arg "Octree.build: size must be a power of two >= 2";
+  let t = { m; root = A.null; size; blocks = 0 } in
+  let alloc_block parent =
+    let hint = if hint_parent && not (A.is_null parent) then parent else A.null in
+    let a =
+      if A.is_null hint then alloc.Alloc.Allocator.alloc elem_bytes
+      else alloc.Alloc.Allocator.alloc ~hint elem_bytes
+    in
+    t.blocks <- t.blocks + 1;
+    a
+  in
+  (* Depth-first: allocate a cube's kid block, then fill octants in
+     order, recursing immediately (RADIANCE's depth-first layout). *)
+  let rec make ~x ~y ~z ~size ~parent =
+    let block = alloc_block parent in
+    let half = size / 2 in
+    for o = 0 to 7 do
+      let dx = if o land 1 = 1 then half else 0 in
+      let dy = if o land 2 = 2 then half else 0 in
+      let dz = if o land 4 = 4 then half else 0 in
+      let slot =
+        match oracle ~x:(x + dx) ~y:(y + dy) ~z:(z + dz) ~size:half with
+        | Empty -> 0
+        | Full v ->
+            if v < 0 || v >= 1 lsl 30 then
+              invalid_arg "Octree.build: payload out of range";
+            (v lsl 1) lor 1
+        | Mixed ->
+            if half = 1 then
+              invalid_arg "Octree.build: oracle returned Mixed for unit cube";
+            make ~x:(x + dx) ~y:(y + dy) ~z:(z + dz) ~size:half ~parent:block
+      in
+      Machine.store32 m (block + (4 * o)) slot
+    done;
+    block
+  in
+  t.root <- make ~x:0 ~y:0 ~z:0 ~size ~parent:A.null;
+  t
+
+let locate t ~x ~y ~z =
+  if
+    x < 0 || y < 0 || z < 0 || x >= t.size || y >= t.size || z >= t.size
+  then invalid_arg "Octree.locate: out of bounds";
+  let m = t.m in
+  let rec go block x y z size =
+    let half = size / 2 in
+    let o =
+      (if x >= half then 1 else 0)
+      lor (if y >= half then 2 else 0)
+      lor (if z >= half then 4 else 0)
+    in
+    let slot = Machine.load32 m (block + (4 * o)) in
+    if slot = 0 then 0
+    else if slot land 1 = 1 then (slot lsr 1) + 1
+    else go slot (x land (half - 1)) (y land (half - 1)) (z land (half - 1)) half
+  in
+  go t.root x y z t.size
+
+let set_root t root = t.root <- root
+
+let count_leaves t =
+  let m = t.m in
+  let empty = ref 0 and full = ref 0 in
+  let rec go block =
+    for o = 0 to 7 do
+      let slot = Machine.uload32 m (block + (4 * o)) in
+      if slot = 0 then incr empty
+      else if slot land 1 = 1 then incr full
+      else go slot
+    done
+  in
+  go t.root;
+  (!empty, !full)

@@ -1,0 +1,47 @@
+(** Compact octrees in the style of RADIANCE's "implicit heap" cubic
+    tree: the structure is a tree of 32-byte {e kid blocks}, each holding
+    eight tagged 4-byte slots — one per octant:
+
+    - [0]              : empty leaf
+    - even, non-zero   : pointer to the child octant's kid block
+    - odd              : full leaf payload [(v lsl 1) lor 1], [v >= 0]
+
+    Eliminating per-node headers keeps elements at 32 bytes, so two kid
+    blocks share a 64-byte L2 block and subtree clustering has something
+    to do (the paper notes RADIANCE's octree is pointer-free and
+    depth-first laid out; we keep one pointer level but the same
+    geometry).  The [kid_filter] in {!desc} teaches [ccmorph] to follow
+    only the even slots. *)
+
+type voxel = Empty | Full of int | Mixed
+
+type t = {
+  m : Memsim.Machine.t;
+  mutable root : Memsim.Addr.t;
+  size : int;  (** cube side; power of two, >= 2 *)
+  mutable blocks : int;  (** kid blocks allocated *)
+}
+
+val elem_bytes : int
+(** 32 *)
+
+val build :
+  ?hint_parent:bool -> Memsim.Machine.t -> alloc:Alloc.Allocator.t ->
+  size:int ->
+  oracle:(x:int -> y:int -> z:int -> size:int -> voxel) -> t
+(** Build by recursive subdivision in depth-first order (RADIANCE's
+    layout).  [oracle] classifies the axis-aligned cube with minimum
+    corner [(x, y, z)]; it must not return [Mixed] for unit cubes.
+    Payloads must satisfy [0 <= v < 2^30].
+    @raise Invalid_argument on bad size or oracle misbehaviour. *)
+
+val locate : t -> x:int -> y:int -> z:int -> int
+(** Timed point location: payload of the leaf containing the point
+    ([0] for empty space, [v + 1] for [Full v] — i.e. the raw tagged
+    value shifted down never collides with empty). *)
+
+val desc : Ccsl.Ccmorph.desc
+val set_root : t -> Memsim.Addr.t -> unit
+
+val count_leaves : t -> int * int
+(** Untimed ([empty], [full]) leaf-slot counts. *)

@@ -1,0 +1,53 @@
+(** Region quadtrees with parent pointers, in Olden [perimeter]'s node
+    layout (seven 4-byte fields, 28 bytes):
+
+    {v
+      offset 0  : color      (0 = white, 1 = black, 2 = grey)
+      offset 4  : childtype  (0 nw, 1 ne, 2 sw, 3 se; 4 at the root)
+      offset 8  : parent     (pointer; null at the root)
+      offset 12 : nw  offset 16 : ne  offset 20 : sw  offset 24 : se
+    v}
+
+    The tree is built from an image oracle by recursive subdivision in
+    preorder (node before children, nw→ne→sw→se), which is the Olden
+    benchmark's allocation order; each child is allocated with its parent
+    as the [ccmalloc] hint when [hint_parent] is set. *)
+
+type region = White | Black | Grey
+
+type t = {
+  m : Memsim.Machine.t;
+  mutable root : Memsim.Addr.t;
+  size : int;  (** image side length; power of two *)
+  mutable nodes : int;
+}
+
+val elem_bytes : int
+(** 28 *)
+
+val off_color : int
+val off_childtype : int
+val off_parent : int
+val off_kid : int -> int
+(** [off_kid q] for quadrant [q] in 0..3 (nw, ne, sw, se). *)
+
+val build :
+  ?hint_parent:bool -> Memsim.Machine.t -> alloc:Alloc.Allocator.t ->
+  size:int -> oracle:(x:int -> y:int -> size:int -> region) -> t
+(** [oracle ~x ~y ~size] classifies the square with north-west corner
+    [(x, y)]; it must return [White] or [Black] when [size = 1].
+    @raise Invalid_argument if [size] is not a positive power of two. *)
+
+val color_at : t -> x:int -> y:int -> int
+(** Timed point query: descend to the leaf covering [(x, y)] and return
+    its color code. *)
+
+val count_colors : t -> int * int * int
+(** Untimed (white, black, grey) node counts. *)
+
+val desc : Ccsl.Ccmorph.desc
+val set_root : t -> Memsim.Addr.t -> unit
+
+val check_parents : t -> unit
+(** Untimed: every child's parent pointer and childtype are consistent.
+    @raise Failure when broken. *)

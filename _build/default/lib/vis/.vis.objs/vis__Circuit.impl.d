@@ -1,0 +1,1 @@
+lib/vis/circuit.ml: Array List Printf Structures

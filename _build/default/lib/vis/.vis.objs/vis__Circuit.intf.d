@@ -1,0 +1,1 @@
+lib/vis/circuit.mli: Structures

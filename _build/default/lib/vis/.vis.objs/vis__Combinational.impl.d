@@ -1,0 +1,1 @@
+lib/vis/combinational.ml: Array Hashtbl Structures

@@ -1,0 +1,1 @@
+lib/vis/combinational.mli: Alloc Memsim Structures

@@ -1,0 +1,1 @@
+lib/vis/reach.ml: Array Circuit List Structures

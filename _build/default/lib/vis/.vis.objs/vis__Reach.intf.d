@@ -1,0 +1,1 @@
+lib/vis/reach.mli: Alloc Circuit Memsim

@@ -1,0 +1,1 @@
+lib/vis/vis_bench.ml: Alloc Ccsl Circuit Combinational List Memsim Reach

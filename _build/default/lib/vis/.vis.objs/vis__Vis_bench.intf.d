@@ -1,0 +1,1 @@
+lib/vis/vis_bench.mli: Ccsl Circuit Memsim

@@ -1,0 +1,128 @@
+module Bdd = Structures.Bdd
+
+type t = {
+  name : string;
+  state_bits : int;
+  input_bits : int;
+  initial : bool array;
+  next_state :
+    Bdd.t ->
+    present:(int -> Bdd.node) ->
+    input:(int -> Bdd.node) ->
+    Bdd.node array;
+  expected_states : float;
+  expected_iterations : int;
+}
+
+let zeros n = Array.make n false
+
+let counter n =
+  {
+    name = Printf.sprintf "counter%d" n;
+    state_bits = n;
+    input_bits = 0;
+    initial = zeros n;
+    next_state =
+      (fun mgr ~present ~input:_ ->
+        (* next_i = x_i xor (x_0 & ... & x_{i-1}): ripple increment *)
+        let carry = ref (Bdd.one mgr) in
+        Array.init n (fun i ->
+            let xi = present i in
+            let next = Bdd.bxor mgr xi !carry in
+            carry := Bdd.band mgr !carry xi;
+            next));
+    expected_states = 2. ** float_of_int n;
+    expected_iterations = (1 lsl n) - 1;
+  }
+
+let gray_counter n =
+  {
+    name = Printf.sprintf "gray%d" n;
+    state_bits = n;
+    input_bits = 0;
+    initial = zeros n;
+    next_state =
+      (fun mgr ~present ~input:_ ->
+        (* standard reflected-Gray successor, implemented via binary:
+           g -> binary -> +1 -> gray.  b_i = xor of g_i..g_{n-1};
+           next_g = b' xor (b' >> 1) where b' = b + 1. *)
+        let b = Array.make n (Bdd.zero mgr) in
+        for i = n - 1 downto 0 do
+          b.(i) <-
+            (if i = n - 1 then present i
+             else Bdd.bxor mgr (present i) b.(i + 1))
+        done;
+        let b' = Array.make n (Bdd.zero mgr) in
+        let carry = ref (Bdd.one mgr) in
+        for i = 0 to n - 1 do
+          b'.(i) <- Bdd.bxor mgr b.(i) !carry;
+          carry := Bdd.band mgr !carry b.(i)
+        done;
+        Array.init n (fun i ->
+            if i = n - 1 then b'.(i) else Bdd.bxor mgr b'.(i) b'.(i + 1)));
+    expected_states = 2. ** float_of_int n;
+    expected_iterations = (1 lsl n) - 1;
+  }
+
+let shifter n =
+  {
+    name = Printf.sprintf "shifter%d" n;
+    state_bits = n;
+    input_bits = 1;
+    initial = zeros n;
+    next_state =
+      (fun _mgr ~present ~input ->
+        Array.init n (fun i -> if i = 0 then input 0 else present (i - 1)));
+    expected_states = 2. ** float_of_int n;
+    expected_iterations = n;
+  }
+
+let lfsr_taps = function
+  | 4 -> [ 3; 2 ]
+  | 5 -> [ 4; 2 ]
+  | 8 -> [ 7; 5; 4; 3 ]
+  | 10 -> [ 9; 6 ]
+  | n -> invalid_arg (Printf.sprintf "Circuit.lfsr: unsupported width %d" n)
+
+let lfsr n =
+  let taps = lfsr_taps n in
+  let initial = zeros n in
+  initial.(0) <- true;
+  {
+    name = Printf.sprintf "lfsr%d" n;
+    state_bits = n;
+    input_bits = 0;
+    initial;
+    next_state =
+      (fun mgr ~present ~input:_ ->
+        let feedback =
+          List.fold_left
+            (fun acc t -> Bdd.bxor mgr acc (present t))
+            (Bdd.zero mgr) taps
+        in
+        Array.init n (fun i -> if i = 0 then feedback else present (i - 1)));
+    expected_states = (2. ** float_of_int n) -. 1.;
+    expected_iterations = (1 lsl n) - 2;
+  }
+
+let token_ring n =
+  let initial = zeros n in
+  initial.(0) <- true;
+  {
+    name = Printf.sprintf "ring%d" n;
+    state_bits = n;
+    input_bits = 1;
+    initial;
+    next_state =
+      (fun mgr ~present ~input ->
+        let r = input 0 in
+        Array.init n (fun i ->
+            let stay = Bdd.band mgr (Bdd.bnot mgr r) (present i) in
+            let move = Bdd.band mgr r (present ((i + n - 1) mod n)) in
+            Bdd.bor mgr stay move));
+    expected_states = float_of_int n;
+    expected_iterations = n - 1;
+  }
+
+let all_default =
+  [ counter 8; gray_counter 8; shifter 16; lfsr 8; token_ring 16; shifter 20 ]

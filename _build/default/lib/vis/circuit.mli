@@ -1,0 +1,51 @@
+(** Sequential circuits described symbolically, for the VIS proxy.
+
+    A circuit has [state_bits] latches and [input_bits] free inputs.  Its
+    transition functions are built as BDDs over a manager whose variable
+    order interleaves present/next state ([present i = 2i],
+    [next i = 2i+1]) and puts inputs last — the standard ordering for
+    image computation.
+
+    Every circuit carries an [initial] latch assignment and
+    [expected_states], the size of its reachable set, used as a
+    correctness oracle by the tests and as the benchmark checksum. *)
+
+type t = {
+  name : string;
+  state_bits : int;
+  input_bits : int;
+  initial : bool array;  (** length [state_bits] *)
+  next_state :
+    Structures.Bdd.t ->
+    present:(int -> Structures.Bdd.node) ->
+    input:(int -> Structures.Bdd.node) ->
+    Structures.Bdd.node array;
+      (** [next_state mgr ~present ~input] returns one BDD per latch. *)
+  expected_states : float;
+  expected_iterations : int;  (** image steps to reach the fixpoint *)
+}
+
+val counter : int -> t
+(** [n]-bit binary counter (wraps); all [2^n] states reachable from 0 in
+    [2^n - 1] steps. *)
+
+val gray_counter : int -> t
+(** [n]-bit Gray-code counter; all [2^n] states reachable. *)
+
+val shifter : int -> t
+(** [n]-bit shift register with a free serial input; all [2^n] states
+    reachable within [n] steps. *)
+
+val lfsr : int -> t
+(** Fibonacci LFSR with maximal-length taps, seeded at [100..0]; the
+    reachable set has [2^n - 1] states (every non-zero pattern).
+    Supported widths: 4, 5, 8, 10.
+    @raise Invalid_argument for unsupported widths. *)
+
+val token_ring : int -> t
+(** [n]-station ring holding a single token that advances when the
+    (single) request input is high: [n] one-hot states, diameter
+    [n - 1]. *)
+
+val all_default : t list
+(** The benchmark mix used by the VIS proxy (Figure 6). *)

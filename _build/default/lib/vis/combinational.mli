@@ -1,0 +1,40 @@
+(** Combinational synthesis checks — the verification half of the VIS
+    proxy.
+
+    Builds BDDs for arithmetic circuits bit by bit and checks structural
+    equivalence of two independently synthesized versions.  Multiplier
+    output functions are the classic BDD stress case (their middle bits
+    grow near-exponentially with width), so this workload drives large
+    unique-table and computed-cache footprints through simulated memory
+    exactly the way VIS's own verification runs do. *)
+
+type result = {
+  equivalent : bool;  (** the two syntheses produced identical functions *)
+  output_nodes : int;  (** distinct BDD nodes across all output bits *)
+  total_nodes : int;  (** nodes ever created by the manager *)
+}
+
+val adder :
+  Structures.Bdd.t -> bits:int ->
+  Structures.Bdd.node array * Structures.Bdd.node array
+(** Ripple-carry adder over a manager with [>= 2*bits] variables
+    (interleaved operand ordering): returns the sum bits and their
+    re-synthesis with operands swapped.  Addition is commutative, so the
+    pairs must be pointwise identical nodes. *)
+
+val multiplier : Structures.Bdd.t -> bits:int -> Structures.Bdd.node array
+(** Shift-and-add multiplier: [2*bits] output functions over interleaved
+    operands. *)
+
+val multiplier_check :
+  ?alloc:Alloc.Allocator.t -> ?unique_bits:int -> ?cache_bits:int ->
+  bits:int -> Memsim.Machine.t -> result
+(** Synthesize [a*b] and [b*a] and compare canonical forms; [equivalent]
+    must be true (commutativity), and with hash-consing the comparison is
+    pointer equality per output bit. *)
+
+val eval_multiplier :
+  Structures.Bdd.t -> Structures.Bdd.node array -> a:int -> b:int ->
+  bits:int -> int
+(** Untimed oracle: evaluate the output functions on concrete operands
+    (for tests). *)

@@ -1,0 +1,30 @@
+type t = { n : int; cdf : float array }
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n <= 0";
+  if theta <= 0. then invalid_arg "Zipf.create: theta <= 0";
+  let w = Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** theta)) in
+  let total = Array.fold_left ( +. ) 0. w in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i x ->
+      acc := !acc +. (x /. total);
+      cdf.(i) <- !acc)
+    w;
+  cdf.(n - 1) <- 1.;
+  { n; cdf }
+
+let sample t rng =
+  let u = Rng.float rng in
+  (* binary search for the first cdf entry >= u *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let pmf t i =
+  if i < 0 || i >= t.n then invalid_arg "Zipf.pmf: rank out of range";
+  if i = 0 then t.cdf.(0) else t.cdf.(i) -. t.cdf.(i - 1)

@@ -1,0 +1,16 @@
+(** Zipf-distributed sampling over [0 .. n-1].
+
+    Used by skewed-access experiments (hot keys searched more often) to
+    show coloring's benefit growing with access skew. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [theta > 0] is the skew exponent; probabilities are proportional to
+    [1 / (rank+1)^theta].  @raise Invalid_argument on bad parameters. *)
+
+val sample : t -> Rng.t -> int
+(** Draw a rank (0 = hottest). *)
+
+val pmf : t -> int -> float
+(** Probability of rank [i]. *)

@@ -1,0 +1,1 @@
+test/suite_addr.ml: Alcotest Memsim QCheck QCheck_alcotest

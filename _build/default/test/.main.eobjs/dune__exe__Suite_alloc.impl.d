@@ -1,0 +1,1 @@
+test/suite_alloc.ml: Alcotest Alloc Array Gen List Memsim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_apps.ml: Alcotest Alloc Array Ccsl List Memsim Micro Printf QCheck QCheck_alcotest Radiance String Structures Vis Workload

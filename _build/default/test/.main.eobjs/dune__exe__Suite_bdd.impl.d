@@ -1,0 +1,1 @@
+test/suite_bdd.ml: Alcotest Ccsl List Memsim QCheck QCheck_alcotest Structures Workload

@@ -1,0 +1,1 @@
+test/suite_cache.ml: Alcotest Array Gen List Memsim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_ccmalloc.ml: Alcotest Ccsl Gen List Memsim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_ccmorph.ml: Alcotest Alloc Array Ccsl List Memsim QCheck QCheck_alcotest Structures Workload

@@ -1,0 +1,1 @@
+test/suite_hierarchy.ml: Alcotest Gen List Memsim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_memory.ml: Alcotest Float Memsim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_olden.ml: Alcotest Alloc Ccsl List Memsim Olden QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/suite_placement.ml: Alcotest Array Ccsl List Memsim QCheck QCheck_alcotest Workload

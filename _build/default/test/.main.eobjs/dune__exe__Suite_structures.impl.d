@@ -1,0 +1,1 @@
+test/suite_structures.ml: Alcotest Alloc Array Ccsl Gen Hashtbl List Memsim QCheck QCheck_alcotest Structures Workload

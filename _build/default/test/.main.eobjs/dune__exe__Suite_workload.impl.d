@@ -1,0 +1,1 @@
+test/suite_workload.ml: Alcotest Array List QCheck QCheck_alcotest Workload

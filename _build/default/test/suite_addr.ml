@@ -1,0 +1,76 @@
+(* Unit and property tests for Memsim.Addr. *)
+
+module A = Memsim.Addr
+
+let check = Alcotest.(check int)
+
+let test_align () =
+  check "up already aligned" 64 (A.align_up 64 64);
+  check "up rounds" 128 (A.align_up 65 64);
+  check "up from 1" 8 (A.align_up 1 8);
+  check "down aligned" 64 (A.align_down 64 64);
+  check "down rounds" 64 (A.align_down 127 64);
+  check "down zero" 0 (A.align_down 63 64);
+  Alcotest.(check bool) "is_aligned" true (A.is_aligned 192 64);
+  Alcotest.(check bool) "not aligned" false (A.is_aligned 193 64)
+
+let test_block_page () =
+  check "block index" 2 (A.block_index 130 ~block_bytes:64);
+  check "block base" 128 (A.block_base 130 ~block_bytes:64);
+  check "offset in block" 2 (A.offset_in_block 130 ~block_bytes:64);
+  check "page index" 1 (A.page_index 8192 ~page_bytes:8192);
+  check "page base" 8192 (A.page_base 9000 ~page_bytes:8192);
+  check "offset in page" 808 (A.offset_in_page 9000 ~page_bytes:8192)
+
+let test_pow2 () =
+  Alcotest.(check bool) "1 is pow2" true (A.is_pow2 1);
+  Alcotest.(check bool) "64 is pow2" true (A.is_pow2 64);
+  Alcotest.(check bool) "0 not" false (A.is_pow2 0);
+  Alcotest.(check bool) "neg not" false (A.is_pow2 (-4));
+  Alcotest.(check bool) "96 not" false (A.is_pow2 96);
+  check "log2 1" 0 (A.log2 1);
+  check "log2 1024" 10 (A.log2 1024);
+  Alcotest.check_raises "log2 of non-pow2"
+    (Invalid_argument "Addr.log2: not a power of two") (fun () ->
+      ignore (A.log2 96))
+
+let test_null () =
+  Alcotest.(check bool) "null is null" true (A.is_null A.null);
+  Alcotest.(check bool) "nonzero is not" false (A.is_null 4)
+
+let prop_align_up_ge =
+  QCheck.Test.make ~count:500 ~name:"align_up result >= input and aligned"
+    QCheck.(pair (int_bound 1_000_000) (int_bound 12))
+    (fun (a, sh) ->
+      let n = 1 lsl sh in
+      let r = A.align_up a n in
+      r >= a && r mod n = 0 && r - a < n)
+
+let prop_align_down_le =
+  QCheck.Test.make ~count:500 ~name:"align_down result <= input and aligned"
+    QCheck.(pair (int_bound 1_000_000) (int_bound 12))
+    (fun (a, sh) ->
+      let n = 1 lsl sh in
+      let r = A.align_down a n in
+      r <= a && r mod n = 0 && a - r < n)
+
+let prop_block_decomposition =
+  QCheck.Test.make ~count:500 ~name:"block base + offset = addr"
+    QCheck.(pair (int_bound 10_000_000) (int_bound 8))
+    (fun (a, sh) ->
+      let b = 16 lsl sh in
+      A.block_base a ~block_bytes:b + A.offset_in_block a ~block_bytes:b = a)
+
+let tests =
+  [
+    ( "addr",
+      [
+        Alcotest.test_case "align up/down" `Quick test_align;
+        Alcotest.test_case "block and page arithmetic" `Quick test_block_page;
+        Alcotest.test_case "powers of two" `Quick test_pow2;
+        Alcotest.test_case "null" `Quick test_null;
+        QCheck_alcotest.to_alcotest prop_align_up_ge;
+        QCheck_alcotest.to_alcotest prop_align_down_le;
+        QCheck_alcotest.to_alcotest prop_block_decomposition;
+      ] );
+  ]

@@ -1,0 +1,158 @@
+(* Tests for the system-malloc emulation and the bump arena. *)
+
+module Machine = Memsim.Machine
+module Config = Memsim.Config
+module Malloc = Alloc.Malloc
+module Bump = Alloc.Bump
+
+let mk () = Machine.create (Config.tiny ())
+
+let test_basic_alloc () =
+  let m = mk () in
+  let a = Malloc.create m in
+  let x = Malloc.alloc a 16 in
+  let y = Malloc.alloc a 16 in
+  Alcotest.(check bool) "disjoint" true (y >= x + 16 || x >= y + 16);
+  Alcotest.(check bool) "aligned" true (Memsim.Addr.is_aligned x 8);
+  Alcotest.(check int) "zeroed" 0 (Machine.uload32 m x);
+  Malloc.check_invariants a
+
+let test_sequential_layout () =
+  (* consecutive allocations are adjacent modulo headers: the paper's
+     "allocation-order" layout that treeadd relies on *)
+  let m = mk () in
+  let a = Malloc.create m in
+  let x = Malloc.alloc a 16 in
+  let y = Malloc.alloc a 16 in
+  Alcotest.(check int) "header distance" 24 (y - x)
+
+let test_lifo_bins () =
+  (* freed chunks of one size are recycled most-recent-first, and are
+     shared by every caller of that size: the locality-scattering reuse
+     of a classic binned malloc *)
+  let m = mk () in
+  let a = Malloc.create m in
+  let x = Malloc.alloc a 16 in
+  let y = Malloc.alloc a 16 in
+  let z = Malloc.alloc a 16 in
+  Malloc.free a x;
+  Malloc.free a z;
+  Alcotest.(check int) "most recently freed first" z (Malloc.alloc a 16);
+  Alcotest.(check int) "then the earlier free" x (Malloc.alloc a 16);
+  (* different sizes never share bins *)
+  Malloc.free a y;
+  let w = Malloc.alloc a 32 in
+  Alcotest.(check bool) "no cross-size reuse" true (w <> y);
+  Malloc.check_invariants a
+
+let test_free_reuse () =
+  let m = mk () in
+  let a = Malloc.create m in
+  let x = Malloc.alloc a 32 in
+  Malloc.free a x;
+  let y = Malloc.alloc a 32 in
+  Alcotest.(check int) "binned chunk reused" x y;
+  Malloc.check_invariants a
+
+let test_bin_accounting () =
+  let m = mk () in
+  let a = Malloc.create m in
+  let xs = Array.init 8 (fun _ -> Malloc.alloc a 24) in
+  let before = Malloc.free_bytes a in
+  Array.iter (fun x -> Malloc.free a x) xs;
+  Malloc.check_invariants a;
+  (* 8 chunks of 8 + align8(24) = 32 bytes each *)
+  Alcotest.(check int) "binned bytes" (before + (8 * 32)) (Malloc.free_bytes a);
+  let y = Malloc.alloc a 24 in
+  Alcotest.(check bool) "reuse came from the bin" true
+    (Array.exists (fun x -> x = y) xs)
+
+let test_double_free_rejected () =
+  let m = mk () in
+  let a = Malloc.create m in
+  let x = Malloc.alloc a 16 in
+  Malloc.free a x;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Malloc.free: not an allocated address") (fun () ->
+      Malloc.free a x)
+
+let test_stats () =
+  let m = mk () in
+  let a = Malloc.create m in
+  let al = Malloc.allocator a in
+  let _ = al.Alloc.Allocator.alloc 10 in
+  let x = al.Alloc.Allocator.alloc 20 in
+  al.Alloc.Allocator.free x;
+  let s = al.Alloc.Allocator.stats () in
+  Alcotest.(check int) "allocs" 2 s.Alloc.Allocator.allocations;
+  Alcotest.(check int) "frees" 1 s.Alloc.Allocator.frees;
+  Alcotest.(check int) "requested" 30 s.Alloc.Allocator.bytes_requested
+
+let prop_no_overlap =
+  QCheck.Test.make ~count:60 ~name:"live malloc regions never overlap"
+    QCheck.(list_of_size (Gen.int_range 1 60) (int_range 1 120))
+    (fun sizes ->
+      let m = mk () in
+      let a = Malloc.create m in
+      let regions = List.map (fun sz -> (Malloc.alloc a sz, sz)) sizes in
+      Malloc.check_invariants a;
+      let rec pairs = function
+        | [] -> true
+        | (x, sx) :: rest ->
+            List.for_all (fun (y, sy) -> x + sx <= y || y + sy <= x) rest
+            && pairs rest
+      in
+      pairs regions)
+
+let prop_alloc_free_alloc =
+  QCheck.Test.make ~count:60
+    ~name:"malloc invariants survive random alloc/free interleavings"
+    QCheck.(list_of_size (Gen.int_range 1 120) (pair bool (int_range 1 100)))
+    (fun ops ->
+      let m = mk () in
+      let a = Malloc.create m in
+      let live = ref [] in
+      List.iter
+        (fun (do_free, sz) ->
+          match (do_free, !live) with
+          | true, x :: rest ->
+              Malloc.free a x;
+              live := rest
+          | _ ->
+              let x = Malloc.alloc a sz in
+              live := x :: !live)
+        ops;
+      Malloc.check_invariants a;
+      true)
+
+let test_bump () =
+  let m = mk () in
+  let b = Bump.create ~name:"t" m in
+  let x = Bump.alloc b 10 in
+  let y = Bump.alloc b 10 in
+  Alcotest.(check bool) "monotone" true (y > x);
+  Alcotest.(check bool) "4-aligned" true (Memsim.Addr.is_aligned y 4);
+  let z = Bump.alloc b ~align:64 10 in
+  Alcotest.(check bool) "explicit align" true (Memsim.Addr.is_aligned z 64);
+  let al = Bump.allocator b in
+  al.Alloc.Allocator.free x;  (* no-op, must not raise *)
+  Alcotest.(check int) "allocs tracked" 3
+    (al.Alloc.Allocator.stats ()).Alloc.Allocator.allocations
+
+let tests =
+  [
+    ( "malloc",
+      [
+        Alcotest.test_case "basic allocation" `Quick test_basic_alloc;
+        Alcotest.test_case "sequential layout" `Quick test_sequential_layout;
+        Alcotest.test_case "LIFO bins" `Quick test_lifo_bins;
+        Alcotest.test_case "free then reuse" `Quick test_free_reuse;
+        Alcotest.test_case "bin accounting" `Quick test_bin_accounting;
+        Alcotest.test_case "double free rejected" `Quick
+          test_double_free_rejected;
+        Alcotest.test_case "allocator stats" `Quick test_stats;
+        QCheck_alcotest.to_alcotest prop_no_overlap;
+        QCheck_alcotest.to_alcotest prop_alloc_free_alloc;
+      ] );
+    ("bump", [ Alcotest.test_case "arena behaviour" `Quick test_bump ]);
+  ]

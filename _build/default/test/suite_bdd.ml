@@ -1,0 +1,283 @@
+(* Tests for the BDD package: boolean-algebra laws validated against a
+   truth-assignment oracle, canonicity, quantification, relabeling and
+   counting. *)
+
+module Machine = Memsim.Machine
+module Config = Memsim.Config
+module Bdd = Structures.Bdd
+module Rng = Workload.Rng
+
+let mk ?alloc ?(nvars = 8) () =
+  let m = Machine.create (Config.tiny ()) in
+  (m, Bdd.create ?alloc ~nvars m)
+
+(* Random boolean formulas with an evaluation oracle. *)
+type formula =
+  | Var of int
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Xor of formula * formula
+  | Const of bool
+
+let rec gen_formula rng depth nvars =
+  if depth = 0 || Rng.int rng 5 = 0 then
+    if Rng.int rng 6 = 0 then Const (Rng.bool rng)
+    else Var (Rng.int rng nvars)
+  else
+    match Rng.int rng 4 with
+    | 0 -> Not (gen_formula rng (depth - 1) nvars)
+    | 1 -> And (gen_formula rng (depth - 1) nvars, gen_formula rng (depth - 1) nvars)
+    | 2 -> Or (gen_formula rng (depth - 1) nvars, gen_formula rng (depth - 1) nvars)
+    | _ -> Xor (gen_formula rng (depth - 1) nvars, gen_formula rng (depth - 1) nvars)
+
+let rec eval_formula f assign =
+  match f with
+  | Var i -> assign i
+  | Not g -> not (eval_formula g assign)
+  | And (g, h) -> eval_formula g assign && eval_formula h assign
+  | Or (g, h) -> eval_formula g assign || eval_formula h assign
+  | Xor (g, h) -> eval_formula g assign <> eval_formula h assign
+  | Const b -> b
+
+let rec to_bdd t f =
+  match f with
+  | Var i -> Bdd.var t i
+  | Not g -> Bdd.bnot t (to_bdd t g)
+  | And (g, h) -> Bdd.band t (to_bdd t g) (to_bdd t h)
+  | Or (g, h) -> Bdd.bor t (to_bdd t g) (to_bdd t h)
+  | Xor (g, h) -> Bdd.bxor t (to_bdd t g) (to_bdd t h)
+  | Const true -> Bdd.one t
+  | Const false -> Bdd.zero t
+
+let all_assignments nvars =
+  List.init (1 lsl nvars) (fun bits -> fun v -> bits land (1 lsl v) <> 0)
+
+let test_terminals () =
+  let _, t = mk () in
+  Alcotest.(check bool) "one" true (Bdd.eval t (Bdd.one t) (fun _ -> false));
+  Alcotest.(check bool) "zero" false (Bdd.eval t (Bdd.zero t) (fun _ -> true));
+  let x0 = Bdd.var t 0 in
+  Alcotest.(check bool) "x0 true" true (Bdd.eval t x0 (fun v -> v = 0));
+  Alcotest.(check bool) "x0 false" false (Bdd.eval t x0 (fun _ -> false));
+  Alcotest.(check bool) "nvar" true (Bdd.eval t (Bdd.nvar t 0) (fun _ -> false))
+
+let test_canonicity () =
+  let _, t = mk () in
+  let x = Bdd.var t 0 and y = Bdd.var t 1 in
+  (* same function built two ways must be the same node *)
+  let a = Bdd.bor t x y in
+  let b = Bdd.bnot t (Bdd.band t (Bdd.bnot t x) (Bdd.bnot t y)) in
+  Alcotest.(check int) "de morgan, same address" a b;
+  let c = Bdd.band t x x in
+  Alcotest.(check int) "idempotent and" x c;
+  Alcotest.(check int) "xor self is zero" (Bdd.zero t) (Bdd.bxor t x x);
+  (* mk with equal kids collapses *)
+  Alcotest.(check int) "mk collapse" y (Bdd.mk t ~var:0 ~low:y ~high:y)
+
+let test_ite () =
+  let _, t = mk () in
+  let x = Bdd.var t 0 and y = Bdd.var t 1 and z = Bdd.var t 2 in
+  let f = Bdd.ite t x y z in
+  List.iter
+    (fun assign ->
+      let expect = if assign 0 then assign 1 else assign 2 in
+      Alcotest.(check bool) "ite semantics" expect (Bdd.eval t f assign))
+    (all_assignments 3);
+  ignore (x, y, z)
+
+let test_exists () =
+  let _, t = mk ~nvars:4 () in
+  let x = Bdd.var t 0 and y = Bdd.var t 1 in
+  let f = Bdd.band t x y in
+  let ex = Bdd.exists t f (fun v -> v = 0) in
+  (* exists x. x&y  ==  y *)
+  Alcotest.(check int) "exists x (x&y) = y" y ex;
+  let all = Bdd.exists t f (fun _ -> true) in
+  Alcotest.(check int) "exists everything = 1 (satisfiable)" (Bdd.one t) all;
+  let none =
+    Bdd.exists t (Bdd.band t x (Bdd.bnot t x)) (fun _ -> true)
+  in
+  Alcotest.(check int) "exists of false = 0" (Bdd.zero t) none
+
+let test_relabel () =
+  let _, t = mk ~nvars:6 () in
+  let f = Bdd.band t (Bdd.var t 1) (Bdd.bor t (Bdd.var t 3) (Bdd.var t 5)) in
+  let g = Bdd.relabel t f (fun v -> v - 1) in
+  let a1 v = v = 0 || v = 2 in
+  (* g(a) = f(a shifted up): g uses vars 0,2,4 *)
+  Alcotest.(check bool) "relabel semantics" true
+    (Bdd.eval t g a1 = Bdd.eval t f (fun v -> a1 (v - 1)));
+  let a2 v = v = 2 in
+  Alcotest.(check bool) "relabel semantics 2" true
+    (Bdd.eval t g a2 = Bdd.eval t f (fun v -> a2 (v - 1)))
+
+let test_restrict () =
+  let _, t = mk ~nvars:4 () in
+  let x = Bdd.var t 0 and y = Bdd.var t 1 in
+  let f = Bdd.bxor t x y in
+  Alcotest.(check int) "f|x=1 is not y" (Bdd.bnot t y)
+    (Bdd.restrict t f ~var:0 ~value:true);
+  Alcotest.(check int) "f|x=0 is y" y (Bdd.restrict t f ~var:0 ~value:false);
+  (* Shannon expansion: f = ite(x, f|x=1, f|x=0) *)
+  let g = Bdd.band t x (Bdd.bor t y (Bdd.var t 2)) in
+  let expanded =
+    Bdd.ite t x
+      (Bdd.restrict t g ~var:0 ~value:true)
+      (Bdd.restrict t g ~var:0 ~value:false)
+  in
+  Alcotest.(check int) "shannon expansion" g expanded;
+  (* restricting an absent variable is the identity *)
+  Alcotest.(check int) "absent var" g (Bdd.restrict t g ~var:3 ~value:true)
+
+let prop_restrict_oracle =
+  QCheck.Test.make ~count:40 ~name:"restrict matches evaluation oracle"
+    QCheck.(pair (int_range 0 100000) (pair (int_range 0 4) bool))
+    (fun (seed, (var, value)) ->
+      let nvars = 5 in
+      let f = gen_formula (Rng.create seed) 4 nvars in
+      let _, t = mk ~nvars () in
+      let b = to_bdd t f in
+      let r = Bdd.restrict t b ~var ~value in
+      List.for_all
+        (fun a ->
+          Bdd.eval t r a
+          = eval_formula f (fun v -> if v = var then value else a v))
+        (all_assignments nvars))
+
+let test_sat_count () =
+  let _, t = mk ~nvars:3 () in
+  let x = Bdd.var t 0 and y = Bdd.var t 1 in
+  Alcotest.(check (float 1e-9)) "x: half of 8" 4. (Bdd.sat_count t x);
+  Alcotest.(check (float 1e-9)) "x&y: quarter of 8" 2.
+    (Bdd.sat_count t (Bdd.band t x y));
+  Alcotest.(check (float 1e-9)) "true: all 8" 8. (Bdd.sat_count t (Bdd.one t));
+  Alcotest.(check (float 1e-9)) "false: none" 0. (Bdd.sat_count t (Bdd.zero t));
+  Alcotest.(check (float 1e-9)) "x xor y: half" 4.
+    (Bdd.sat_count t (Bdd.bxor t x y))
+
+let test_node_count_and_ordering () =
+  let _, t = mk () in
+  let x = Bdd.var t 0 in
+  Alcotest.(check int) "single var is one node" 1 (Bdd.node_count t x);
+  let f = Bdd.band t x (Bdd.var t 1) in
+  Alcotest.(check int) "and of two vars" 2 (Bdd.node_count t f);
+  Alcotest.check_raises "ordering violation"
+    (Invalid_argument "Bdd.mk: variable ordering violated") (fun () ->
+      ignore (Bdd.mk t ~var:1 ~low:x ~high:(Bdd.one t)))
+
+let test_unique_table_telemetry () =
+  let _, t = mk () in
+  ignore (Bdd.band t (Bdd.var t 0) (Bdd.var t 1));
+  Alcotest.(check bool) "probes counted" true (Bdd.unique_table_probes t > 0);
+  ignore (Bdd.cache_lookups t);
+  Alcotest.(check bool) "nodes allocated" true (Bdd.live_nodes t >= 3)
+
+let test_computed_cache_hits () =
+  let _, t = mk () in
+  let f = Bdd.band t (Bdd.var t 0) (Bdd.var t 1) in
+  let lookups0 = Bdd.cache_lookups t in
+  let g = Bdd.band t (Bdd.var t 0) (Bdd.var t 1) in
+  Alcotest.(check int) "same result" f g;
+  Alcotest.(check bool) "cache consulted again" true
+    (Bdd.cache_lookups t > lookups0);
+  Alcotest.(check bool) "cache hit happened" true (Bdd.cache_hits t > 0)
+
+let prop_formula_oracle =
+  QCheck.Test.make ~count:60 ~name:"BDD evaluation matches formula oracle"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let nvars = 5 in
+      let f = gen_formula rng 5 nvars in
+      let _, t = mk ~nvars () in
+      let b = to_bdd t f in
+      List.for_all
+        (fun assign -> Bdd.eval t b assign = eval_formula f assign)
+        (all_assignments nvars))
+
+let prop_canonicity_equiv_formulas =
+  QCheck.Test.make ~count:40
+    ~name:"semantically equal formulas share one BDD node"
+    QCheck.(pair (int_range 0 100000) (int_range 0 100000))
+    (fun (s1, s2) ->
+      let nvars = 4 in
+      let f1 = gen_formula (Rng.create s1) 4 nvars in
+      let f2 = gen_formula (Rng.create s2) 4 nvars in
+      let equal_sem =
+        List.for_all
+          (fun a -> eval_formula f1 a = eval_formula f2 a)
+          (all_assignments nvars)
+      in
+      let _, t = mk ~nvars () in
+      let b1 = to_bdd t f1 and b2 = to_bdd t f2 in
+      (b1 = b2) = equal_sem)
+
+let prop_sat_count_oracle =
+  QCheck.Test.make ~count:40 ~name:"sat_count matches brute force"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let nvars = 5 in
+      let f = gen_formula (Rng.create seed) 4 nvars in
+      let _, t = mk ~nvars () in
+      let b = to_bdd t f in
+      let brute =
+        List.length
+          (List.filter (fun a -> eval_formula f a) (all_assignments nvars))
+      in
+      Bdd.sat_count t b = float_of_int brute)
+
+let prop_exists_oracle =
+  QCheck.Test.make ~count:40 ~name:"exists matches brute-force projection"
+    QCheck.(pair (int_range 0 100000) (int_range 0 4))
+    (fun (seed, qvar) ->
+      let nvars = 5 in
+      let f = gen_formula (Rng.create seed) 4 nvars in
+      let _, t = mk ~nvars () in
+      let b = to_bdd t f in
+      let ex = Bdd.exists t b (fun v -> v = qvar) in
+      List.for_all
+        (fun a ->
+          let with_v value v = if v = qvar then value else a v in
+          Bdd.eval t ex a
+          = (eval_formula f (with_v true) || eval_formula f (with_v false)))
+        (all_assignments nvars))
+
+let prop_ccmalloc_backed_bdd =
+  QCheck.Test.make ~count:20 ~name:"BDD over ccmalloc behaves identically"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let nvars = 5 in
+      let f = gen_formula (Rng.create seed) 4 nvars in
+      let m = Machine.create (Config.tiny ()) in
+      let cc = Ccsl.Ccmalloc.create ~strategy:Ccsl.Ccmalloc.New_block m in
+      let t = Bdd.create ~alloc:(Ccsl.Ccmalloc.allocator cc) ~nvars m in
+      let b = to_bdd t f in
+      List.for_all
+        (fun assign -> Bdd.eval t b assign = eval_formula f assign)
+        (all_assignments nvars))
+
+let tests =
+  [
+    ( "bdd",
+      [
+        Alcotest.test_case "terminals and vars" `Quick test_terminals;
+        Alcotest.test_case "canonicity" `Quick test_canonicity;
+        Alcotest.test_case "ite" `Quick test_ite;
+        Alcotest.test_case "exists" `Quick test_exists;
+        Alcotest.test_case "restrict" `Quick test_restrict;
+        QCheck_alcotest.to_alcotest prop_restrict_oracle;
+        Alcotest.test_case "relabel" `Quick test_relabel;
+        Alcotest.test_case "sat_count" `Quick test_sat_count;
+        Alcotest.test_case "node count and ordering" `Quick
+          test_node_count_and_ordering;
+        Alcotest.test_case "unique-table telemetry" `Quick
+          test_unique_table_telemetry;
+        Alcotest.test_case "computed cache" `Quick test_computed_cache_hits;
+        QCheck_alcotest.to_alcotest prop_formula_oracle;
+        QCheck_alcotest.to_alcotest prop_canonicity_equiv_formulas;
+        QCheck_alcotest.to_alcotest prop_sat_count_oracle;
+        QCheck_alcotest.to_alcotest prop_exists_oracle;
+        QCheck_alcotest.to_alcotest prop_ccmalloc_backed_bdd;
+      ] );
+  ]

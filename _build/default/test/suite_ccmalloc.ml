@@ -1,0 +1,179 @@
+(* Tests for the cache-conscious allocator's placement strategies. *)
+
+module Machine = Memsim.Machine
+module Config = Memsim.Config
+module A = Memsim.Addr
+module Ccmalloc = Ccsl.Ccmalloc
+
+(* tiny machine: 64-byte L2 blocks, 1024-byte pages -> 16 blocks/page *)
+let mk strategy =
+  let m = Machine.create (Config.tiny ()) in
+  (m, Ccmalloc.create ~strategy m)
+
+let block_of m a = A.block_index a ~block_bytes:(Machine.l2_block_bytes m)
+let page_of m a = A.page_index a ~page_bytes:(Machine.page_bytes m)
+
+let test_same_block_colocation () =
+  let m, t = mk Ccmalloc.Closest in
+  let parent = Ccmalloc.alloc t 20 in
+  let child = Ccmalloc.alloc t ~hint:parent 20 in
+  Alcotest.(check int) "same cache block" (block_of m parent) (block_of m child);
+  Alcotest.(check (float 0.)) "ratio" 1. (Ccmalloc.same_block_ratio t)
+
+let test_never_straddles () =
+  let m, t = mk Ccmalloc.First_fit in
+  let last = ref A.null in
+  for _ = 1 to 200 do
+    let a = Ccmalloc.alloc t ~hint:!last 24 in
+    let bb = Machine.l2_block_bytes m in
+    if A.offset_in_block a ~block_bytes:bb + 24 > bb then
+      Alcotest.fail "object straddles a cache block";
+    last := a
+  done
+
+let test_closest_picks_nearest () =
+  let m, t = mk Ccmalloc.Closest in
+  (* 48-byte object + 8-byte header + padding fills block 0 exactly. *)
+  let first = Ccmalloc.alloc t 48 in
+  Alcotest.(check int) "block 0" 0
+    (A.offset_in_page first ~page_bytes:(Machine.page_bytes m)
+    / Machine.l2_block_bytes m);
+  (* hint block full: closest must pick the adjacent block *)
+  let nxt = Ccmalloc.alloc t ~hint:first 48 in
+  let hint_block = block_of m first in
+  Alcotest.(check int) "adjacent block" (hint_block + 1) (block_of m nxt);
+  Alcotest.(check int) "same page" (page_of m first) (page_of m nxt)
+
+let test_new_block_reserves () =
+  let m, t = mk Ccmalloc.New_block in
+  let x = Ccmalloc.alloc t 16 in
+  (* block 0 holds 24 of 64 bytes: a 40-byte (56 with header) hinted
+     alloc cannot fit *)
+  let y = Ccmalloc.alloc t ~hint:x 40 in
+  Alcotest.(check bool) "different block" true (block_of m x <> block_of m y);
+  (* the new block was empty before: y's payload sits after its header *)
+  Alcotest.(check int) "starts a fresh block" 8
+    (A.offset_in_block y ~block_bytes:(Machine.l2_block_bytes m));
+  (* a later small hinted alloc can still join x's block *)
+  let z = Ccmalloc.alloc t ~hint:x 16 in
+  Alcotest.(check int) "reuses hint block" (block_of m x) (block_of m z)
+
+let test_first_fit_scans_from_start () =
+  let m, t = mk Ccmalloc.First_fit in
+  let b0 = Ccmalloc.alloc t 16 in  (* block 0: 24 of 64 used *)
+  let _b0b = Ccmalloc.alloc t ~hint:b0 16 in  (* block 0: 48 used *)
+  let far = Ccmalloc.alloc t ~hint:b0 40 in  (* 56-byte unit needs a fresh block *)
+  (* first-fit scans from block 0: block 1 is the first with room *)
+  Alcotest.(check int) "block 1" (block_of m b0 + 1) (block_of m far)
+
+let test_new_block_opens_more_blocks () =
+  (* The §4.4 memory-overhead signal: new-block opens at least as many
+     blocks as closest for the same workload. *)
+  let run strategy =
+    let _, t = mk strategy in
+    let last = ref A.null in
+    for i = 1 to 300 do
+      let a =
+        if i mod 7 = 0 then Ccmalloc.alloc t 16
+        else Ccmalloc.alloc t ~hint:!last 16
+      in
+      last := a
+    done;
+    Ccmalloc.blocks_opened t
+  in
+  let nb = run Ccmalloc.New_block in
+  let cl = run Ccmalloc.Closest in
+  let ff = run Ccmalloc.First_fit in
+  Alcotest.(check bool) "new-block >= closest" true (nb >= cl);
+  Alcotest.(check bool) "new-block >= first-fit" true (nb >= ff)
+
+let test_null_hint_sequential () =
+  let m, t = mk Ccmalloc.New_block in
+  let x = Ccmalloc.alloc t 20 in
+  let y = Ccmalloc.alloc t 20 in
+  Alcotest.(check int) "same block, packed" (block_of m x) (block_of m y);
+  Alcotest.(check int) "no hinted allocs recorded" 0
+    (int_of_float (Ccmalloc.same_block_ratio t *. 100.))
+
+let test_foreign_hint_ignored () =
+  let m, t = mk Ccmalloc.Closest in
+  (* hint pointing into non-ccmalloc memory must not blow up *)
+  let foreign = Machine.reserve m ~bytes:64 ~align:64 in
+  let a = Ccmalloc.alloc t ~hint:foreign 20 in
+  Alcotest.(check bool) "allocated fine" true (a > 0)
+
+let test_span_objects () =
+  let m, t = mk Ccmalloc.New_block in
+  let big = Ccmalloc.alloc t 200 in
+  Alcotest.(check bool) "block aligned" true
+    (A.is_aligned big (Machine.l2_block_bytes m));
+  Machine.ustore32 m (big + 196) 7;
+  Alcotest.(check int) "usable to the end" 7 (Machine.uload32 m (big + 196))
+
+let test_free_lifo () =
+  let m, t = mk Ccmalloc.Closest in
+  let x = Ccmalloc.alloc t 20 in
+  let y = Ccmalloc.alloc t ~hint:x 20 in
+  Ccmalloc.free t y;
+  let z = Ccmalloc.alloc t ~hint:x 20 in
+  Alcotest.(check int) "LIFO slot reused" y z;
+  ignore m
+
+let prop_all_allocations_disjoint =
+  QCheck.Test.make ~count:50 ~name:"ccmalloc allocations never overlap"
+    QCheck.(
+      pair (int_bound 2)
+        (list_of_size (Gen.int_range 1 150) (pair bool (int_range 1 64))))
+    (fun (strat, plan) ->
+      let strategy =
+        match strat with
+        | 0 -> Ccmalloc.Closest
+        | 1 -> Ccmalloc.New_block
+        | _ -> Ccmalloc.First_fit
+      in
+      let _, t = mk strategy in
+      let live = ref [] in
+      let last = ref A.null in
+      List.iter
+        (fun (hinted, sz) ->
+          let a =
+            if hinted && not (A.is_null !last) then
+              Ccmalloc.alloc t ~hint:!last sz
+            else Ccmalloc.alloc t sz
+          in
+          live := (a, sz) :: !live;
+          last := a)
+        plan;
+      let rec pairs = function
+        | [] -> true
+        | (x, sx) :: rest ->
+            List.for_all (fun (y, sy) -> x + sx <= y || y + sy <= x) rest
+            && pairs rest
+      in
+      pairs !live)
+
+let tests =
+  [
+    ( "ccmalloc",
+      [
+        Alcotest.test_case "same-block co-location" `Quick
+          test_same_block_colocation;
+        Alcotest.test_case "never straddles blocks" `Quick test_never_straddles;
+        Alcotest.test_case "closest picks nearest block" `Quick
+          test_closest_picks_nearest;
+        Alcotest.test_case "new-block reserves empty blocks" `Quick
+          test_new_block_reserves;
+        Alcotest.test_case "first-fit scans from page start" `Quick
+          test_first_fit_scans_from_start;
+        Alcotest.test_case "new-block opens more blocks" `Quick
+          test_new_block_opens_more_blocks;
+        Alcotest.test_case "null hint is sequential" `Quick
+          test_null_hint_sequential;
+        Alcotest.test_case "foreign hint tolerated" `Quick
+          test_foreign_hint_ignored;
+        Alcotest.test_case "objects wider than a block" `Quick
+          test_span_objects;
+        Alcotest.test_case "LIFO free" `Quick test_free_lifo;
+        QCheck_alcotest.to_alcotest prop_all_allocations_disjoint;
+      ] );
+  ]

@@ -1,0 +1,94 @@
+(* Tests for the sparse simulated memory. *)
+
+module M = Memsim.Memory
+
+let test_roundtrip_widths () =
+  let m = M.create () in
+  M.store8 m 100 0xAB;
+  Alcotest.(check int) "8-bit" 0xAB (M.load8 m 100);
+  M.store32 m 200 0xDEADBEEF;
+  Alcotest.(check int) "32-bit" 0xDEADBEEF (M.load32 m 200);
+  Alcotest.(check int) "32-bit signed" (0xDEADBEEF - 0x100000000)
+    (M.load32s m 200);
+  M.store64 m 300 0x0123456789ABCDEFL;
+  Alcotest.(check int64) "64-bit" 0x0123456789ABCDEFL (M.load64 m 300);
+  M.storef m 400 3.14159;
+  Alcotest.(check (float 0.)) "float" 3.14159 (M.loadf m 400)
+
+let test_zero_initialized () =
+  let m = M.create () in
+  Alcotest.(check int) "fresh memory reads zero" 0 (M.load32 m 123456)
+
+let test_chunk_boundary () =
+  let m = M.create ~chunk_bytes:4096 () in
+  (* straddle the 4096-byte chunk boundary *)
+  M.store32 m 4094 0x11223344;
+  Alcotest.(check int) "straddling 32-bit" 0x11223344 (M.load32 m 4094);
+  M.store64 m 8190 0x1122334455667788L;
+  Alcotest.(check int64) "straddling 64-bit" 0x1122334455667788L
+    (M.load64 m 8190)
+
+let test_blit_and_fill () =
+  let m = M.create () in
+  for i = 0 to 15 do
+    M.store8 m (1000 + i) (i + 1)
+  done;
+  M.blit m ~src:1000 ~dst:2000 ~bytes:16;
+  for i = 0 to 15 do
+    Alcotest.(check int) "blit byte" (i + 1) (M.load8 m (2000 + i))
+  done;
+  M.fill_zero m 2000 ~bytes:16;
+  for i = 0 to 15 do
+    Alcotest.(check int) "zeroed" 0 (M.load8 m (2000 + i))
+  done
+
+let test_sparse_chunks () =
+  let m = M.create ~chunk_bytes:4096 () in
+  let before = M.chunks_allocated m in
+  M.store8 m (100 * 4096) 1;
+  M.store8 m (500 * 4096) 1;
+  Alcotest.(check int) "two chunks materialized" (before + 2)
+    (M.chunks_allocated m)
+
+let prop_store_load_32 =
+  QCheck.Test.make ~count:300 ~name:"32-bit store/load roundtrip"
+    QCheck.(pair (int_bound 1_000_000) (int_bound 0xFFFFFF))
+    (fun (a, v) ->
+      let m = M.create () in
+      M.store32 m (a * 4) v;
+      M.load32 m (a * 4) = v)
+
+let prop_floats =
+  QCheck.Test.make ~count:300 ~name:"float store/load roundtrip"
+    QCheck.(pair (int_bound 100_000) float)
+    (fun (a, v) ->
+      let m = M.create () in
+      M.storef m (a * 8) v;
+      let r = M.loadf m (a * 8) in
+      (Float.is_nan v && Float.is_nan r) || r = v)
+
+let prop_disjoint_writes =
+  QCheck.Test.make ~count:200 ~name:"writes to distinct words do not clobber"
+    QCheck.(pair (int_bound 10_000) (int_bound 10_000))
+    (fun (a, b) ->
+      QCheck.assume (a <> b);
+      let m = M.create () in
+      M.store32 m (a * 4) 0xAAAA;
+      M.store32 m (b * 4) 0xBBBB;
+      M.load32 m (a * 4) = 0xAAAA && M.load32 m (b * 4) = 0xBBBB)
+
+let tests =
+  [
+    ( "memory",
+      [
+        Alcotest.test_case "width roundtrips" `Quick test_roundtrip_widths;
+        Alcotest.test_case "zero initialized" `Quick test_zero_initialized;
+        Alcotest.test_case "chunk boundary straddling" `Quick
+          test_chunk_boundary;
+        Alcotest.test_case "blit and fill" `Quick test_blit_and_fill;
+        Alcotest.test_case "sparse materialization" `Quick test_sparse_chunks;
+        QCheck_alcotest.to_alcotest prop_store_load_32;
+        QCheck_alcotest.to_alcotest prop_floats;
+        QCheck_alcotest.to_alcotest prop_disjoint_writes;
+      ] );
+  ]

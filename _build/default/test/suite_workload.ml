@@ -1,0 +1,95 @@
+(* Tests for the deterministic RNG and Zipf sampler. *)
+
+module Rng = Workload.Rng
+module Zipf = Workload.Zipf
+
+let test_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done;
+  let c = Rng.create 8 in
+  Alcotest.(check bool) "different seed differs" true (Rng.next a <> Rng.next c)
+
+let test_int_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_float_bounds () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0. && v < 1.)
+  done
+
+let test_permutation () =
+  let rng = Rng.create 3 in
+  let p = Rng.permutation rng 100 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation"
+    (Array.init 100 (fun i -> i))
+    sorted
+
+let test_uniformity_rough () =
+  let rng = Rng.create 4 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "roughly uniform" true (c > 800 && c < 1200))
+    buckets
+
+let test_zipf_pmf () =
+  let z = Zipf.create ~n:4 ~theta:1. in
+  (* weights 1, 1/2, 1/3, 1/4 normalized *)
+  let total = 1. +. 0.5 +. (1. /. 3.) +. 0.25 in
+  Alcotest.(check (float 1e-9)) "pmf 0" (1. /. total) (Zipf.pmf z 0);
+  Alcotest.(check (float 1e-9)) "pmf 3" (0.25 /. total) (Zipf.pmf z 3);
+  let sum = List.fold_left ( +. ) 0. (List.init 4 (Zipf.pmf z)) in
+  Alcotest.(check (float 1e-9)) "pmf sums to 1" 1. sum
+
+let test_zipf_skew () =
+  let z = Zipf.create ~n:100 ~theta:1. in
+  let rng = Rng.create 5 in
+  let hits = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let r = Zipf.sample z rng in
+    hits.(r) <- hits.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 0 hottest" true (hits.(0) > hits.(50));
+  Alcotest.(check bool) "rank 0 beats rank 5" true (hits.(0) > hits.(5))
+
+let prop_zipf_in_range =
+  QCheck.Test.make ~count:100 ~name:"zipf samples stay in range"
+    QCheck.(pair (int_range 1 50) (int_range 0 10000))
+    (fun (n, seed) ->
+      let z = Zipf.create ~n ~theta:0.8 in
+      let rng = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Zipf.sample z rng in
+        if v < 0 || v >= n then ok := false
+      done;
+      !ok)
+
+let tests =
+  [
+    ( "workload",
+      [
+        Alcotest.test_case "rng determinism" `Quick test_determinism;
+        Alcotest.test_case "rng int bounds" `Quick test_int_bounds;
+        Alcotest.test_case "rng float bounds" `Quick test_float_bounds;
+        Alcotest.test_case "permutation" `Quick test_permutation;
+        Alcotest.test_case "rough uniformity" `Quick test_uniformity_rough;
+        Alcotest.test_case "zipf pmf" `Quick test_zipf_pmf;
+        Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+        QCheck_alcotest.to_alcotest prop_zipf_in_range;
+      ] );
+  ]
