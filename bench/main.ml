@@ -14,7 +14,11 @@
      dune exec bench/main.exe                 # bechamel + quick-scale tables
      dune exec bench/main.exe -- --paper      # bechamel + paper-scale tables
      dune exec bench/main.exe -- --no-bechamel
-     dune exec bench/main.exe -- --no-tables *)
+     dune exec bench/main.exe -- --no-tables
+     dune exec bench/main.exe -- --seed 42    # reseed the workloads
+
+   Each reproduction experiment additionally writes its results as
+   versioned JSON to BENCH_<name>.json in the working directory. *)
 
 open Bechamel
 open Toolkit
@@ -198,11 +202,17 @@ let run_bechamel () =
   in
   Notty_unix.eol img |> Notty_unix.output_image
 
+let rec seed_of_args = function
+  | "--seed" :: v :: _ -> Some (int_of_string v)
+  | _ :: rest -> seed_of_args rest
+  | [] -> None
+
 let () =
   let args = Array.to_list Sys.argv in
   let paper = List.mem "--paper" args || List.mem "--full" args in
   let no_bechamel = List.mem "--no-bechamel" args in
   let no_tables = List.mem "--no-tables" args in
+  let seed = seed_of_args args in
   if not no_bechamel then begin
     print_endline "=== Bechamel kernel timings (simulator health) ===";
     run_bechamel ();
@@ -213,7 +223,21 @@ let () =
     let scale =
       if paper then Harness.Experiments.Paper else Harness.Experiments.Quick
     in
-    Harness.Experiments.all ~scale Format.std_formatter;
+    let scale_name = Harness.Experiments.scale_name scale in
+    let export name payload =
+      let file = Printf.sprintf "BENCH_%s.json" name in
+      Obs.Export.write_file file
+        (Obs.Export.envelope ~experiment:name ~scale:scale_name ?seed payload);
+      Printf.printf "wrote %s\n%!" file
+    in
+    List.iter
+      (fun name ->
+        match
+          Harness.Experiments.run_named ~scale ?seed name Format.std_formatter
+        with
+        | Some payload -> export name payload
+        | None -> ())
+      Harness.Experiments.names;
     print_endline "=== Ablations and extensions ===";
-    Harness.Ablations.all Format.std_formatter
+    export "ablations" (Harness.Ablations.all ?seed Format.std_formatter)
   end

@@ -1,9 +1,11 @@
 (* Command-line driver: regenerate any of the paper's tables and figures.
 
    Examples:
-     ccsl-cli all                # every experiment, quick scale
-     ccsl-cli fig7 --paper       # Olden benchmarks at paper-scale inputs
-     ccsl-cli fig5 fig10         # selected experiments *)
+     ccsl-cli all                      # every experiment, quick scale
+     ccsl-cli fig7 --paper             # Olden benchmarks at paper-scale inputs
+     ccsl-cli fig5 fig10 --seed 42     # selected experiments, reseeded
+     ccsl-cli fig5 --json out.json     # pretty table + machine-readable export
+     ccsl-cli profile treeadd          # reuse-distance/occupancy profiling *)
 
 open Cmdliner
 
@@ -14,37 +16,196 @@ let scale_term =
   in
   Arg.(value & flag & info [ "paper"; "full" ] ~doc)
 
-let run_experiments names paper =
-  let scale =
-    if paper then Harness.Experiments.Paper else Harness.Experiments.Quick
+let seed_term =
+  let doc =
+    "Reseed the workload generators.  Omitting this reproduces the \
+     repository's reference streams exactly."
   in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+
+let json_term =
+  let doc =
+    "Also write the experiment's results as versioned JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let metrics_term =
+  let doc =
+    "Write harness telemetry (experiment counters and timing spans) as \
+     JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let scale_of paper =
+  if paper then Harness.Experiments.Paper else Harness.Experiments.Quick
+
+(* ------------------------------------------------------------------ *)
+(* Default command: run experiments / ablations                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_experiments names paper seed json_file metrics_file =
+  let scale = scale_of paper in
   let ppf = Format.std_formatter in
-  let dispatch = function
-    | "fig5" -> Harness.Experiments.fig5 ~scale ppf
-    | "fig6" -> Harness.Experiments.fig6 ~scale ppf
-    | "fig7" -> Harness.Experiments.fig7 ~scale ppf
-    | "fig10" -> Harness.Experiments.fig10 ~scale ppf
-    | "table1" -> Harness.Experiments.table1 ppf
-    | "table2" -> Harness.Experiments.table2 ~scale ppf
-    | "control" -> Harness.Experiments.control ~scale ppf
-    | "ablations" -> Harness.Ablations.all ppf
-    | "all" -> Harness.Experiments.all ~scale ppf
-    | other ->
-        Format.eprintf
-          "unknown experiment %S (expected fig5, fig6, fig7, fig10, table1, \
-           table2, control, all)@."
-          other;
+  let metrics = Obs.Metrics.create () in
+  let ran =
+    Obs.Metrics.counter metrics
+      ~help:"experiments executed by this invocation" "experiments_run"
+  in
+  let spans = Obs.Span.create () in
+  let dispatch name =
+    let payload =
+      Obs.Span.with_ spans name (fun () ->
+          match name with
+          | "ablations" -> Some (Harness.Ablations.all ?seed ppf)
+          | "all" -> Some (Harness.Experiments.all ~scale ?seed ppf)
+          | name -> Harness.Experiments.run_named ~scale ?seed name ppf)
+    in
+    match payload with
+    | Some p ->
+        Obs.Metrics.incr ran;
+        (name, p)
+    | None ->
+        Format.eprintf "unknown experiment %S (expected %s, ablations or all)@."
+          name
+          (String.concat ", " Harness.Experiments.names);
         exit 2
   in
   let names = if names = [] then [ "all" ] else names in
-  List.iter dispatch names
+  let results = List.map dispatch names in
+  (match json_file with
+  | None -> ()
+  | Some file ->
+      let experiment = String.concat "+" (List.map fst results) in
+      let data =
+        match results with
+        | [ (_, payload) ] -> payload
+        | many -> Obs.Json.Obj many
+      in
+      Obs.Export.write_file file
+        (Obs.Export.envelope ~experiment
+           ~scale:(Harness.Experiments.scale_name scale)
+           ?seed data);
+      Format.fprintf ppf "wrote %s@." file);
+  match metrics_file with
+  | None -> ()
+  | Some file ->
+      Obs.Json.write_file file
+        (Obs.Json.Obj
+           [
+             ("metrics", Obs.Metrics.to_json metrics);
+             ("spans", Obs.Span.to_json spans);
+           ]);
+      Format.fprintf ppf "wrote %s@." file
 
 let names_term =
   let doc =
     "Experiments to run: $(b,fig5), $(b,fig6), $(b,fig7), $(b,fig10), \
-     $(b,table1), $(b,table2), $(b,control) or $(b,all) (default)."
+     $(b,table1), $(b,table2), $(b,control), $(b,ablations) or $(b,all) \
+     (default)."
   in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let run_term =
+  Term.(
+    const run_experiments $ names_term $ scale_term $ seed_term $ json_term
+    $ metrics_term)
+
+(* Each experiment name is also a subcommand (cmdliner groups route the
+   first positional argument to a command), so [ccsl-cli fig5 fig10]
+   keeps working: the subcommand prepends its own name to any further
+   positional experiment names and reuses the shared driver. *)
+let experiment_cmd exp_name =
+  let extra_term =
+    let doc = "Additional experiments to run after $(b," ^ exp_name ^ ")." in
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let doc = Printf.sprintf "Run the %s experiment" exp_name in
+  let run extra paper seed json metrics =
+    run_experiments (exp_name :: extra) paper seed json metrics
+  in
+  Cmd.v
+    (Cmd.info exp_name ~doc)
+    Term.(
+      const run $ extra_term $ scale_term $ seed_term $ json_term
+      $ metrics_term)
+
+(* ------------------------------------------------------------------ *)
+(* profile subcommand                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let placement_of_string s =
+  match String.lowercase_ascii s with
+  | "b" | "base" -> Some Olden.Common.Base
+  | "hp" | "hw-prefetch" -> Some Olden.Common.Hw_prefetch
+  | "sp" | "sw-prefetch" -> Some Olden.Common.Sw_prefetch
+  | "fa" | "first-fit" -> Some Olden.Common.Ccmalloc_first_fit
+  | "ca" | "closest" -> Some Olden.Common.Ccmalloc_closest
+  | "na" | "new-block" -> Some Olden.Common.Ccmalloc_new_block
+  | "cl" | "cluster" -> Some Olden.Common.Ccmorph_cluster
+  | "cl+col" | "cluster-color" -> Some Olden.Common.Ccmorph_cluster_color
+  | "nullhint" | "null-hint" -> Some Olden.Common.Null_hint_control
+  | _ -> None
+
+let run_profile bench placement_str paper seed json_file =
+  let scale = scale_of paper in
+  let placement =
+    match placement_of_string placement_str with
+    | Some p -> p
+    | None ->
+        Format.eprintf
+          "unknown placement %S (expected base, hw-prefetch, sw-prefetch, \
+           first-fit, closest, new-block, cluster, cluster-color or \
+           null-hint)@."
+          placement_str;
+        exit 2
+  in
+  match Harness.Profiles.run ~scale ?seed ~placement bench with
+  | None ->
+      Format.eprintf "unknown benchmark %S (expected %s)@." bench
+        (String.concat ", " Harness.Profiles.names);
+      exit 2
+  | Some report -> (
+      Format.printf "%a@." Harness.Profiles.pp report;
+      match json_file with
+      | None -> ()
+      | Some file ->
+          Obs.Export.write_file file
+            (Obs.Export.envelope
+               ~experiment:("profile-" ^ bench)
+               ~scale:(Harness.Experiments.scale_name scale)
+               ?seed
+               (Harness.Profiles.to_json report));
+          Format.printf "wrote %s@." file)
+
+let profile_cmd =
+  let bench_term =
+    let doc =
+      "Benchmark to profile: $(b,treeadd), $(b,health), $(b,mst) or \
+       $(b,perimeter)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let placement_term =
+    let doc =
+      "Placement configuration (Figure 7 legend code or long name): \
+       $(b,base), $(b,hw-prefetch), $(b,sw-prefetch), $(b,first-fit), \
+       $(b,closest), $(b,new-block), $(b,cluster), $(b,cluster-color), \
+       $(b,null-hint)."
+    in
+    Arg.(value & opt string "base" & info [ "placement" ] ~docv:"P" ~doc)
+  in
+  let doc =
+    "Run one Olden benchmark under the locality profilers: reuse-distance \
+     histogram, block utilization, cache set-occupancy heatmap, and the \
+     implied-vs-simulated miss-rate cross-check."
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(
+      const run_profile $ bench_term $ placement_term $ scale_term $ seed_term
+      $ json_term)
+
+(* ------------------------------------------------------------------ *)
 
 let cmd =
   let doc =
@@ -62,8 +223,10 @@ let cmd =
          repository root.";
     ]
   in
-  Cmd.v
+  Cmd.group ~default:run_term
     (Cmd.info "ccsl-cli" ~version:"1.0.0" ~doc ~man)
-    Term.(const run_experiments $ names_term $ scale_term)
+    (profile_cmd
+    :: List.map experiment_cmd
+         (Harness.Experiments.names @ [ "ablations"; "all" ]))
 
 let () = exit (Cmd.eval cmd)

@@ -62,6 +62,10 @@ type t = {
   mutable hinted : int;
   mutable hinted_same_block : int;
   mutable hinted_same_page : int;
+  mutable hint_unmanaged : int;
+  mutable strategy_fallbacks : int;
+  mutable reuse_hits : int;
+  mutable span_allocs : int;
 }
 
 let create ?(strategy = New_block) ?(pages_per_grow = 1) m =
@@ -88,6 +92,10 @@ let create ?(strategy = New_block) ?(pages_per_grow = 1) m =
     hinted = 0;
     hinted_same_block = 0;
     hinted_same_page = 0;
+    hint_unmanaged = 0;
+    strategy_fallbacks = 0;
+    reuse_hits = 0;
+    span_allocs = 0;
   }
 
 let page_bytes t = Machine.page_bytes t.m
@@ -160,8 +168,10 @@ let try_reuse t unit =
     | [] -> None
     | (p, b) :: rest ->
         t.reuse <- rest;
-        if List.exists (fun (_, u) -> u >= unit) p.freed.(b) then
+        if List.exists (fun (_, u) -> u >= unit) p.freed.(b) then begin
+          t.reuse_hits <- t.reuse_hits + 1;
           Some (place t p b unit)
+        end
         else go ()
   in
   go ()
@@ -252,6 +262,7 @@ let span_alloc t unit =
   let bytes = blocks * t.block_bytes in
   let pages = (bytes + page_bytes t - 1) / page_bytes t in
   let base = Machine.reserve_pages t.m pages in
+  t.span_allocs <- t.span_allocs + 1;
   t.span_pages <- t.span_pages + pages;
   t.blocks_opened <- t.blocks_opened + blocks;
   let payload = base + t.block_bytes in
@@ -275,6 +286,7 @@ let alloc t ?(hint = A.null) bytes =
     match Hashtbl.find_opt t.pages page_idx with
     | None ->
         (* Hint points outside ccmalloc-managed memory; treat as no hint. *)
+        t.hint_unmanaged <- t.hint_unmanaged + 1;
         default_alloc t unit
     | Some p ->
         t.hinted <- t.hinted + 1;
@@ -289,7 +301,9 @@ let alloc t ?(hint = A.null) bytes =
           | Some b ->
               t.hinted_same_page <- t.hinted_same_page + 1;
               place t p b unit
-          | None -> overflow_alloc t unit
+          | None ->
+              t.strategy_fallbacks <- t.strategy_fallbacks + 1;
+              overflow_alloc t unit
         end
 
 let free t payload =
@@ -324,6 +338,46 @@ let same_block_ratio t =
 let same_page_ratio t =
   if t.hinted = 0 then 0.
   else float_of_int t.hinted_same_page /. float_of_int t.hinted
+
+type counters = {
+  c_allocations : int;
+  c_frees : int;
+  c_bytes_requested : int;
+  c_hinted : int;
+  c_hinted_same_block : int;
+  c_hinted_same_page : int;
+  c_hint_unmanaged : int;
+  c_strategy_fallbacks : int;
+  c_reuse_hits : int;
+  c_span_allocs : int;
+  c_pages_opened : int;
+  c_blocks_opened : int;
+}
+
+let counters t =
+  {
+    c_allocations = t.allocations;
+    c_frees = t.frees;
+    c_bytes_requested = t.bytes_requested;
+    c_hinted = t.hinted;
+    c_hinted_same_block = t.hinted_same_block;
+    c_hinted_same_page = t.hinted_same_page;
+    c_hint_unmanaged = t.hint_unmanaged;
+    c_strategy_fallbacks = t.strategy_fallbacks;
+    c_reuse_hits = t.reuse_hits;
+    c_span_allocs = t.span_allocs;
+    c_pages_opened = pages_opened t;
+    c_blocks_opened = t.blocks_opened;
+  }
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "allocs=%d frees=%d bytes=%d hinted=%d same_block=%d same_page=%d \
+     unmanaged_hints=%d fallbacks=%d reuse_hits=%d spans=%d pages=%d blocks=%d"
+    c.c_allocations c.c_frees c.c_bytes_requested c.c_hinted
+    c.c_hinted_same_block c.c_hinted_same_page c.c_hint_unmanaged
+    c.c_strategy_fallbacks c.c_reuse_hits c.c_span_allocs c.c_pages_opened
+    c.c_blocks_opened
 
 let allocator t =
   {

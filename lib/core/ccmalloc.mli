@@ -61,3 +61,27 @@ val same_block_ratio : t -> float
 
 val same_page_ratio : t -> float
 (** Fraction of hinted allocations placed on the hint's page. *)
+
+type counters = {
+  c_allocations : int;
+  c_frees : int;
+  c_bytes_requested : int;
+  c_hinted : int;  (** allocations that arrived with a usable hint *)
+  c_hinted_same_block : int;  (** ... co-located in the hint's block *)
+  c_hinted_same_page : int;  (** ... placed somewhere on the hint's page *)
+  c_hint_unmanaged : int;
+      (** hints pointing outside ccmalloc-managed pages (treated as none) *)
+  c_strategy_fallbacks : int;
+      (** hinted allocations the placement strategy could not fit on the
+          hint's page, spilling to an overflow page *)
+  c_reuse_hits : int;  (** allocations served from freed slots *)
+  c_span_allocs : int;  (** objects wider than a block (whole-block spans) *)
+  c_pages_opened : int;
+  c_blocks_opened : int;
+}
+(** Placement telemetry: every path an allocation can take, in one
+    snapshot.  [c_hinted = c_hinted_same_block + (same-page strategy
+    placements) + c_strategy_fallbacks]. *)
+
+val counters : t -> counters
+val pp_counters : Format.formatter -> counters -> unit

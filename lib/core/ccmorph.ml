@@ -38,6 +38,7 @@ type result = {
   blocks_used : int;
   hot_blocks : int;
   bytes_copied : int;
+  pages_used : int;
 }
 
 (* Discover the structure with a timed breadth-first traversal.  Each
@@ -132,6 +133,7 @@ let do_morph params m desc roots =
       blocks_used = 0;
       hot_blocks = 0;
       bytes_copied = 0;
+      pages_used = 0;
     }
   else begin
     let k = max 1 (block_bytes / desc.elem_bytes) in
@@ -278,6 +280,15 @@ let do_morph params m desc roots =
           else new_addrs.(Hashtbl.find index_of r))
         roots
     in
+    let pages_used =
+      let pages = Hashtbl.create 64 in
+      Array.iter
+        (fun base ->
+          Hashtbl.replace pages
+            (A.page_index base ~page_bytes:(Machine.page_bytes m)) ())
+        block_base;
+      Hashtbl.length pages
+    in
     {
       new_root = (if Array.length new_roots > 0 then new_roots.(0) else A.null);
       new_roots;
@@ -285,6 +296,7 @@ let do_morph params m desc roots =
       blocks_used = nblocks;
       hot_blocks = !hot_blocks;
       bytes_copied = !bytes_copied;
+      pages_used;
     }
   end
 

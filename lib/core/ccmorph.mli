@@ -64,6 +64,7 @@ type result = {
   blocks_used : int;
   hot_blocks : int;  (** blocks placed in the colored hot region *)
   bytes_copied : int;
+  pages_used : int;  (** distinct VM pages holding the new layout *)
 }
 
 val morph :

@@ -3,23 +3,24 @@ module Config = Memsim.Config
 module Bst = Structures.Bst
 module Rng = Workload.Rng
 module Ccmorph = Ccsl.Ccmorph
+module J = Obs.Json
 
-let hr ppf = Format.fprintf ppf "%s@." (String.make 78 '-')
-
-let section ppf title =
-  hr ppf;
-  Format.fprintf ppf "%s@." title;
-  hr ppf
-
+let section = Report.section
 let elem = Bst.default_elem_bytes
+
+(* Every study derives its random streams from [?seed]: [None] keeps the
+   repository's historical constants (reference output stays bit-exact),
+   [Some s] offsets each stream from [s] so reruns are independent. *)
+let sd seed default offset =
+  match seed with None -> default | Some s -> s + offset
 
 (* Build a random-layout tree on a fresh E5000+TLB machine, morph it with
    [params] (or leave it naive), and measure steady-state searches whose
    keys come from [next_key]. *)
-let measure_tree ?params ~n ~searches ~next_key () =
+let measure_tree ?params ?(build_seed = 17) ~n ~searches ~next_key () =
   let m = Machine.create (Config.ultrasparc_e5000 ~tlb:true ()) in
   let keys = Array.init n (fun i -> i) in
-  let t = Bst.build m ~elem_bytes:elem (Bst.Random (Rng.create 17)) ~keys in
+  let t = Bst.build m ~elem_bytes:elem (Bst.Random (Rng.create build_seed)) ~keys in
   let t =
     match params with
     | None -> t
@@ -43,25 +44,32 @@ let uniform_keys n seed =
 
 (* ------------------------------------------------------------------ *)
 
-let color_frac ppf =
+let color_frac ?seed ppf =
   section ppf "Ablation: hot-region size (the paper's Color_const = 1/2)";
   let n = 1 lsl 19 in
   let searches = 20_000 in
   let run label params =
-    let c = measure_tree ?params ~n ~searches ~next_key:(uniform_keys n 5) () in
-    Format.fprintf ppf "  %-28s %8.1f cycles/search@." label c
+    let c =
+      measure_tree ?params ~build_seed:(sd seed 17 0) ~n ~searches
+        ~next_key:(uniform_keys n (sd seed 5 1)) ()
+    in
+    Format.fprintf ppf "  %-28s %8.1f cycles/search@." label c;
+    J.Obj [ ("label", J.String label); ("cycles_per_search", J.Float c) ]
   in
-  run "uncolored (clustering only)"
-    (Some { Ccmorph.default_params with Ccmorph.color = false });
-  List.iter
-    (fun frac ->
-      run
-        (Printf.sprintf "colored, frac = %.2f" frac)
-        (Some { Ccmorph.default_params with Ccmorph.color_frac = frac }))
-    [ 0.25; 0.5; 0.75 ];
-  Format.fprintf ppf "@."
+  let rows =
+    run "uncolored (clustering only)"
+      (Some { Ccmorph.default_params with Ccmorph.color = false })
+    :: List.map
+         (fun frac ->
+           run
+             (Printf.sprintf "colored, frac = %.2f" frac)
+             (Some { Ccmorph.default_params with Ccmorph.color_frac = frac }))
+         [ 0.25; 0.5; 0.75 ]
+  in
+  Format.fprintf ppf "@.";
+  J.Obj [ ("rows", J.List rows) ]
 
-let cluster_scheme ppf =
+let cluster_scheme ?seed ppf =
   section ppf
     "Ablation: clustering scheme vs. access pattern (Section 2.1 both ways)";
   let n = (1 lsl 17) - 1 in
@@ -70,19 +78,21 @@ let cluster_scheme ppf =
     measure_tree
       ~params:
         { Ccmorph.default_params with Ccmorph.cluster = scheme; color = false }
-      ~n ~searches:20_000 ~next_key:(uniform_keys n 5) ()
+      ~build_seed:(sd seed 17 0) ~n ~searches:20_000
+      ~next_key:(uniform_keys n (sd seed 5 1)) ()
   in
+  let search_sub = search_cost Ccmorph.Subtree in
+  let search_dfs = search_cost Ccmorph.Depth_first in
   Format.fprintf ppf "  random searches:   subtree %8.1f   depth-first %8.1f \
                       cycles/search@."
-    (search_cost Ccmorph.Subtree)
-    (search_cost Ccmorph.Depth_first);
+    search_sub search_dfs;
   (* (b) full depth-first walks -- with k = 3 and cluster merging the two
      schemes both pack walk-consecutive nodes, so subtree clustering must
      merely not lose here while winning the searches above *)
   let walk_cost scheme =
     let m = Machine.create (Config.ultrasparc_e5000 ~tlb:true ()) in
     let keys = Array.init n (fun i -> i) in
-    let t = Bst.build m ~elem_bytes:elem (Bst.Random (Rng.create 17)) ~keys in
+    let t = Bst.build m ~elem_bytes:elem (Bst.Random (Rng.create (sd seed 17 0))) ~keys in
     let p = { Ccmorph.default_params with Ccmorph.cluster = scheme; color = false } in
     let r = Ccmorph.morph ~params:p m (Bst.desc ~elem_bytes:elem) ~root:t.Bst.root in
     let root = r.Ccmorph.new_root in
@@ -100,47 +110,71 @@ let cluster_scheme ppf =
     done;
     float_of_int (Machine.cycles m) /. 4.
   in
+  let walk_sub = walk_cost Ccmorph.Subtree in
+  let walk_dfs = walk_cost Ccmorph.Depth_first in
   Format.fprintf ppf "  full DFS walks:    subtree %8.0f   depth-first %8.0f \
                       cycles/walk@."
-    (walk_cost Ccmorph.Subtree)
-    (walk_cost Ccmorph.Depth_first);
+    walk_sub walk_dfs;
   Format.fprintf ppf
-    "  (subtree clustering should win the searches, depth-first the walks)@.@."
+    "  (subtree clustering should win the searches, depth-first the walks)@.@.";
+  J.Obj
+    [
+      ( "random_searches",
+        J.Obj
+          [ ("subtree", J.Float search_sub); ("depth_first", J.Float search_dfs) ]
+      );
+      ( "dfs_walks",
+        J.Obj
+          [ ("subtree", J.Float walk_sub); ("depth_first", J.Float walk_dfs) ]
+      );
+    ]
 
-let zipf_skew ppf =
+let zipf_skew ?seed ppf =
   section ppf "Ablation: coloring benefit vs. access skew";
   let n = 1 lsl 19 in
   let searches = 20_000 in
   (* hot ranks are scattered over the key space deterministically *)
-  let scatter = Rng.permutation (Rng.create 99) n in
+  let scatter = Rng.permutation (Rng.create (sd seed 99 2)) n in
   let next_key_of = function
-    | None -> uniform_keys n 5
+    | None -> uniform_keys n (sd seed 5 1)
     | Some theta ->
         let z = Workload.Zipf.create ~n ~theta in
-        let rng = Rng.create 5 in
+        let rng = Rng.create (sd seed 5 1) in
         fun _ -> scatter.(Workload.Zipf.sample z rng)
   in
-  List.iter
-    (fun (label, theta) ->
-      let cost colored =
-        measure_tree
-          ~params:{ Ccmorph.default_params with Ccmorph.color = colored }
-          ~n ~searches ~next_key:(next_key_of theta) ()
-      in
-      let un = cost false and co = cost true in
-      Format.fprintf ppf
-        "  %-18s uncolored %8.1f   colored %8.1f   gain %5.1f%%@." label un co
-        (100. *. (1. -. (co /. un))))
-    [ ("uniform", None); ("zipf 0.8", Some 0.8); ("zipf 1.2", Some 1.2) ];
-  Format.fprintf ppf "@."
+  let rows =
+    List.map
+      (fun (label, theta) ->
+        let cost colored =
+          measure_tree
+            ~params:{ Ccmorph.default_params with Ccmorph.color = colored }
+            ~build_seed:(sd seed 17 0) ~n ~searches
+            ~next_key:(next_key_of theta) ()
+        in
+        let un = cost false and co = cost true in
+        let gain = 100. *. (1. -. (co /. un)) in
+        Format.fprintf ppf
+          "  %-18s uncolored %8.1f   colored %8.1f   gain %5.1f%%@." label un
+          co gain;
+        J.Obj
+          [
+            ("workload", J.String label);
+            ("uncolored", J.Float un);
+            ("colored", J.Float co);
+            ("gain_pct", J.Float gain);
+          ])
+      [ ("uniform", None); ("zipf 0.8", Some 0.8); ("zipf 1.2", Some 1.2) ]
+  in
+  Format.fprintf ppf "@.";
+  J.Obj [ ("rows", J.List rows) ]
 
-let hint_quality ppf =
+let hint_quality ?seed ppf =
   section ppf "Ablation: ccmalloc hint quality on a list-churn workload";
   let lists = 512 and cells = 80 and rounds = 60 in
   let run hint_mode =
     let m = Machine.create (Config.ultrasparc_e5000 ~tlb:true ()) in
     let cc = Ccsl.Ccmalloc.create ~strategy:Ccsl.Ccmalloc.New_block m in
-    let rng = Rng.create 31 in
+    let rng = Rng.create (sd seed 31 0) in
     let live = ref [] in
     let alloc ~prev =
       let hint =
@@ -210,37 +244,55 @@ let hint_quality ppf =
   Format.fprintf ppf
     "  (good hints keep each list's replacement cells near the list; null \
      hints recycle@.   freed slots globally and scatter the lists a little \
-     more every round)@.@."
+     more every round)@.@.";
+  J.Obj
+    [
+      ("predecessor_cycles", J.Int p);
+      ("random_cycles", J.Int r);
+      ("null_cycles", J.Int nl);
+    ]
 
-let mshr_sweep ppf =
+let mshr_sweep ?seed ppf =
+  ignore seed;
   section ppf "Ablation: MSHR count vs. greedy software prefetching (treeadd)";
-  List.iter
-    (fun mshrs ->
-      let cfg = Config.rsim_table1 ~mshrs () in
-      let r =
-        Olden.Treeadd.run
-          ~params:{ Olden.Treeadd.levels = 15; passes = 1 }
-          ~config:cfg Olden.Common.Sw_prefetch
-      in
-      Format.fprintf ppf "  mshrs = %2d   %9d cycles@." mshrs
-        r.Olden.Common.snapshot.Memsim.Cost.s_total)
-    [ 1; 2; 4; 8; 16 ];
-  Format.fprintf ppf "@."
+  let rows =
+    List.map
+      (fun mshrs ->
+        let cfg = Config.rsim_table1 ~mshrs () in
+        let r =
+          Olden.Treeadd.run
+            ~params:{ Olden.Treeadd.levels = 15; passes = 1 }
+            ~config:cfg Olden.Common.Sw_prefetch
+        in
+        Format.fprintf ppf "  mshrs = %2d   %9d cycles@." mshrs
+          r.Olden.Common.snapshot.Memsim.Cost.s_total;
+        J.Obj
+          [
+            ("mshrs", J.Int mshrs);
+            ("cycles", J.Int r.Olden.Common.snapshot.Memsim.Cost.s_total);
+          ])
+      [ 1; 2; 4; 8; 16 ]
+  in
+  Format.fprintf ppf "@.";
+  J.Obj [ ("rows", J.List rows) ]
 
-let page_aware ppf =
+let page_aware ?seed ppf =
   section ppf "Ablation: ccmorph's page-aware cold-block emission (TLB on)";
   let n = 1 lsl 19 in
   let run pa =
     measure_tree
       ~params:{ Ccmorph.default_params with Ccmorph.page_aware = pa }
-      ~n ~searches:20_000 ~next_key:(uniform_keys n 5) ()
+      ~build_seed:(sd seed 17 0) ~n ~searches:20_000
+      ~next_key:(uniform_keys n (sd seed 5 1)) ()
   in
+  let bf = run false and df = run true in
   Format.fprintf ppf
     "  breadth-first cold order %8.1f cycles/search@.\
     \  depth-first (page-aware) %8.1f cycles/search@.@."
-    (run false) (run true)
+    bf df;
+  J.Obj [ ("breadth_first", J.Float bf); ("depth_first", J.Float df) ]
 
-let interference ppf =
+let interference ?seed ppf =
   section ppf
     "Extension: two structures sharing the cache (the paper's future work)";
   let n = 1 lsl 17 in
@@ -248,8 +300,8 @@ let interference ppf =
   let run label p1 p2 =
     let m = Machine.create (Config.ultrasparc_e5000 ~tlb:true ()) in
     let keys = Array.init n (fun i -> i) in
-    let build seed = Bst.build m ~elem_bytes:elem (Bst.Random (Rng.create seed)) ~keys in
-    let t1 = build 1 and t2 = build 2 in
+    let build bs = Bst.build m ~elem_bytes:elem (Bst.Random (Rng.create bs)) ~keys in
+    let t1 = build (sd seed 1 0) and t2 = build (sd seed 2 1) in
     let morph t p =
       match p with
       | None -> t
@@ -258,7 +310,7 @@ let interference ppf =
           Bst.of_root m ~elem_bytes:elem ~n r.Ccmorph.new_root
     in
     let t1 = morph t1 p1 and t2 = morph t2 p2 in
-    let rng = Rng.create 5 in
+    let rng = Rng.create (sd seed 5 2) in
     Machine.cold_start m;
     for _ = 1 to searches / 4 do
       ignore (Bst.search t1 (Rng.int rng n));
@@ -269,8 +321,9 @@ let interference ppf =
       ignore (Bst.search t1 (Rng.int rng n));
       ignore (Bst.search t2 (Rng.int rng n))
     done;
-    Format.fprintf ppf "  %-34s %8.1f cycles/search@." label
-      (float_of_int (Machine.cycles m) /. float_of_int (2 * searches))
+    let c = float_of_int (Machine.cycles m) /. float_of_int (2 * searches) in
+    Format.fprintf ppf "  %-34s %8.1f cycles/search@." label c;
+    J.Obj [ ("label", J.String label); ("cycles_per_search", J.Float c) ]
   in
   let quarter first_set =
     Some
@@ -281,14 +334,19 @@ let interference ppf =
       }
   in
   let sets = 16384 in
-  run "both naive" None None;
-  run "both colored, same hot region" (quarter 0) (quarter 0);
-  run "colored into disjoint regions" (quarter 0) (quarter (sets / 4));
+  let rows =
+    [
+      run "both naive" None None;
+      run "both colored, same hot region" (quarter 0) (quarter 0);
+      run "colored into disjoint regions" (quarter 0) (quarter (sets / 4));
+    ]
+  in
   Format.fprintf ppf
     "  (disjoint regions should win: each tree's hot set survives the \
-     other's traffic)@.@."
+     other's traffic)@.@.";
+  J.Obj [ ("rows", J.List rows) ]
 
-let dynamic_updates ppf =
+let dynamic_updates ?seed ppf =
   section ppf
     "Extension: C-tree vs. B-tree under insertions (the paper's Figure 5 \
      caveat)";
@@ -302,13 +360,13 @@ let dynamic_updates ppf =
   let keys = Array.init n (fun i -> i * 2) in
   let run_ctree insert_frac =
     let m = Machine.create (Config.ultrasparc_e5000 ~tlb:true ()) in
-    let t = Bst.build m ~elem_bytes:elem (Bst.Random (Rng.create 3)) ~keys in
+    let t = Bst.build m ~elem_bytes:elem (Bst.Random (Rng.create (sd seed 3 0))) ~keys in
     let morph t =
       let r = Ccmorph.morph m (Bst.desc ~elem_bytes:elem) ~root:t.Bst.root in
       Bst.of_root m ~elem_bytes:elem ~n:t.Bst.n r.Ccmorph.new_root
     in
     let t = ref (morph t) in
-    let rng = Rng.create 4 in
+    let rng = Rng.create (sd seed 4 1) in
     Machine.reset_measurement m;
     for i = 1 to ops do
       if Rng.float rng < insert_frac then
@@ -321,7 +379,7 @@ let dynamic_updates ppf =
   let run_btree insert_frac =
     let m = Machine.create (Config.ultrasparc_e5000 ~tlb:true ()) in
     let t = ref (Structures.Btree.build m ~colored:true ~keys) in
-    let rng = Rng.create 4 in
+    let rng = Rng.create (sd seed 4 1) in
     Machine.reset_measurement m;
     for _ = 1 to ops do
       if Rng.float rng < insert_frac then
@@ -332,17 +390,26 @@ let dynamic_updates ppf =
   in
   Format.fprintf ppf "  %-14s %12s %12s %10s@." "insert share" "C-tree"
     "B-tree" "winner";
-  List.iter
-    (fun frac ->
-      let c = run_ctree frac and b = run_btree frac in
-      Format.fprintf ppf "  %-14s %12.1f %12.1f %10s@."
-        (Printf.sprintf "%.0f%%" (100. *. frac))
-        c b
-        (if c < b then "C-tree" else "B-tree"))
-    [ 0.0; 0.005; 0.02; 0.1; 0.3 ];
-  Format.fprintf ppf "@."
+  let rows =
+    List.map
+      (fun frac ->
+        let c = run_ctree frac and b = run_btree frac in
+        Format.fprintf ppf "  %-14s %12.1f %12.1f %10s@."
+          (Printf.sprintf "%.0f%%" (100. *. frac))
+          c b
+          (if c < b then "C-tree" else "B-tree");
+        J.Obj
+          [
+            ("insert_frac", J.Float frac);
+            ("ctree", J.Float c);
+            ("btree", J.Float b);
+          ])
+      [ 0.0; 0.005; 0.02; 0.1; 0.3 ]
+  in
+  Format.fprintf ppf "@.";
+  J.Obj [ ("rows", J.List rows) ]
 
-let miss_curves ppf =
+let miss_curves ?seed ppf =
   section ppf
     "Extension: measured amortized miss rate vs. cache size (trace replay)";
   Format.fprintf ppf
@@ -354,7 +421,7 @@ let miss_curves ppf =
   let record params =
     let m = Machine.create (Config.ultrasparc_e5000 ()) in
     let keys = Array.init n (fun i -> i) in
-    let t = Bst.build m ~elem_bytes:elem (Bst.Random (Rng.create 17)) ~keys in
+    let t = Bst.build m ~elem_bytes:elem (Bst.Random (Rng.create (sd seed 17 0))) ~keys in
     let t =
       match params with
       | None -> t
@@ -363,7 +430,7 @@ let miss_curves ppf =
           Bst.of_root m ~elem_bytes:elem ~n r.Ccmorph.new_root
     in
     let tr = Memsim.Trace.create () in
-    let rng = Rng.create 5 in
+    let rng = Rng.create (sd seed 5 1) in
     (* warm up untraced, then record the steady state *)
     for _ = 1 to 4000 do
       ignore (Bst.search t (Rng.int rng n))
@@ -382,20 +449,30 @@ let miss_curves ppf =
   let curve tr = Memsim.Trace.miss_rate_curve tr ~block_bytes:64 ~assoc:1 ~capacities in
   let cn = curve naive and cc = curve ctree in
   Format.fprintf ppf "  %-12s %12s %12s@." "L2 capacity" "naive" "C-tree";
-  List.iter2
-    (fun (cap, mn) (_, mc) ->
-      Format.fprintf ppf "  %-12s %12.4f %12.4f@."
-        (Printf.sprintf "%d KB" (cap / 1024))
-        mn mc)
-    cn cc;
+  let rows =
+    List.map2
+      (fun (cap, mn) (_, mc) ->
+        Format.fprintf ppf "  %-12s %12.4f %12.4f@."
+          (Printf.sprintf "%d KB" (cap / 1024))
+          mn mc;
+        J.Obj
+          [
+            ("capacity_bytes", J.Int cap);
+            ("naive", J.Float mn);
+            ("ctree", J.Float mc);
+          ])
+      cn cc
+  in
   Format.fprintf ppf
     "  (%d-event traces.  The C-tree's curve sits far below the naive one; \
      it flattens@.   past 1 MB because its coloring was computed for the 1 MB \
      E5000 L2 -- placement is@.   tuned to a cache, exactly as the model's \
      R_s(c) says)@.@."
-    (Memsim.Trace.length naive)
+    (Memsim.Trace.length naive);
+  J.Obj
+    [ ("trace_events", J.Int (Memsim.Trace.length naive)); ("rows", J.List rows) ]
 
-let associativity ppf =
+let associativity ?seed ppf =
   section ppf
     "Ablation: coloring vs. cache associativity (1 MB L2, same capacity)";
   Format.fprintf ppf
@@ -405,42 +482,52 @@ let associativity ppf =
   let searches = 20_000 in
   Format.fprintf ppf "  %-8s %14s %14s %8s@." "assoc" "uncolored" "colored"
     "gain";
-  List.iter
-    (fun assoc ->
-      let cfg =
-        let base = Config.ultrasparc_e5000 ~tlb:true () in
-        {
-          base with
-          Config.l2 =
-            Memsim.Cache_config.of_capacity ~name:"L2"
-              ~capacity_bytes:(1 lsl 20) ~assoc ~block_bytes:64 ();
-        }
-      in
-      let cost colored =
-        let m = Machine.create cfg in
-        let keys = Array.init n (fun i -> i) in
-        let t = Bst.build m ~elem_bytes:elem (Bst.Random (Rng.create 17)) ~keys in
-        let p = { Ccmorph.default_params with Ccmorph.color = colored } in
-        let r = Ccmorph.morph ~params:p m (Bst.desc ~elem_bytes:elem) ~root:t.Bst.root in
-        let t = Bst.of_root m ~elem_bytes:elem ~n r.Ccmorph.new_root in
-        let rng = Rng.create 5 in
-        Machine.cold_start m;
-        for _ = 1 to searches / 4 do
-          ignore (Bst.search t (Rng.int rng n))
-        done;
-        Machine.reset_measurement m;
-        for _ = 1 to searches do
-          ignore (Bst.search t (Rng.int rng n))
-        done;
-        float_of_int (Machine.cycles m) /. float_of_int searches
-      in
-      let un = cost false and co = cost true in
-      Format.fprintf ppf "  %-8d %14.1f %14.1f %7.1f%%@." assoc un co
-        (100. *. (1. -. (co /. un))))
-    [ 1; 2; 4; 8 ];
-  Format.fprintf ppf "@."
+  let rows =
+    List.map
+      (fun assoc ->
+        let cfg =
+          let base = Config.ultrasparc_e5000 ~tlb:true () in
+          {
+            base with
+            Config.l2 =
+              Memsim.Cache_config.of_capacity ~name:"L2"
+                ~capacity_bytes:(1 lsl 20) ~assoc ~block_bytes:64 ();
+          }
+        in
+        let cost colored =
+          let m = Machine.create cfg in
+          let keys = Array.init n (fun i -> i) in
+          let t = Bst.build m ~elem_bytes:elem (Bst.Random (Rng.create (sd seed 17 0))) ~keys in
+          let p = { Ccmorph.default_params with Ccmorph.color = colored } in
+          let r = Ccmorph.morph ~params:p m (Bst.desc ~elem_bytes:elem) ~root:t.Bst.root in
+          let t = Bst.of_root m ~elem_bytes:elem ~n r.Ccmorph.new_root in
+          let rng = Rng.create (sd seed 5 1) in
+          Machine.cold_start m;
+          for _ = 1 to searches / 4 do
+            ignore (Bst.search t (Rng.int rng n))
+          done;
+          Machine.reset_measurement m;
+          for _ = 1 to searches do
+            ignore (Bst.search t (Rng.int rng n))
+          done;
+          float_of_int (Machine.cycles m) /. float_of_int searches
+        in
+        let un = cost false and co = cost true in
+        let gain = 100. *. (1. -. (co /. un)) in
+        Format.fprintf ppf "  %-8d %14.1f %14.1f %7.1f%%@." assoc un co gain;
+        J.Obj
+          [
+            ("assoc", J.Int assoc);
+            ("uncolored", J.Float un);
+            ("colored", J.Float co);
+            ("gain_pct", J.Float gain);
+          ])
+      [ 1; 2; 4; 8 ]
+  in
+  Format.fprintf ppf "@.";
+  J.Obj [ ("rows", J.List rows) ]
 
-let veb_layout ppf =
+let veb_layout ?seed ppf =
   section ppf
     "Extension: hand-designed layouts -- van Emde Boas vs. the C-tree \
      (Table 3's first row)";
@@ -455,7 +542,7 @@ let veb_layout ppf =
     let m = Machine.create (Config.ultrasparc_e5000 ~tlb:true ()) in
     let keys = Array.init n (fun i -> i) in
     let t = Bst.build m ~elem_bytes:elem layout ~keys in
-    let rng = Rng.create 5 in
+    let rng = Rng.create (sd seed 5 1) in
     Machine.cold_start m;
     for _ = 1 to searches / 4 do
       ignore (Bst.search t (Rng.int rng n))
@@ -466,30 +553,57 @@ let veb_layout ppf =
     done;
     float_of_int (Machine.cycles m) /. float_of_int searches
   in
-  Format.fprintf ppf "  %-34s %8.1f cycles/search@." "random layout"
-    (measure_layout (Bst.Random (Rng.create 17)));
-  Format.fprintf ppf "  %-34s %8.1f cycles/search@." "depth-first layout"
-    (measure_layout Bst.Depth_first);
-  Format.fprintf ppf "  %-34s %8.1f cycles/search@." "van Emde Boas layout"
-    (measure_layout Bst.Van_emde_boas);
-  Format.fprintf ppf "  %-34s %8.1f cycles/search@."
-    "C-tree (ccmorph cluster+color)"
-    (measure_tree ~params:Ccmorph.default_params ~n ~searches
-       ~next_key:(uniform_keys n 5) ());
+  let row label c =
+    Format.fprintf ppf "  %-34s %8.1f cycles/search@." label c;
+    J.Obj [ ("layout", J.String label); ("cycles_per_search", J.Float c) ]
+  in
+  let rows =
+    [
+      row "random layout"
+        (measure_layout (Bst.Random (Rng.create (sd seed 17 0))));
+      row "depth-first layout" (measure_layout Bst.Depth_first);
+      row "van Emde Boas layout" (measure_layout Bst.Van_emde_boas);
+      row "C-tree (ccmorph cluster+color)"
+        (measure_tree ~params:Ccmorph.default_params
+           ~build_seed:(sd seed 17 0) ~n ~searches
+           ~next_key:(uniform_keys n (sd seed 5 1)) ());
+    ]
+  in
   Format.fprintf ppf
     "  (vEB needs no cache parameters and still beats the naive layouts; \
      the parameter-@.   aware C-tree beats vEB by pinning its hot \
-     region)@.@."
+     region)@.@.";
+  J.Obj [ ("rows", J.List rows) ]
 
-let all ppf =
-  color_frac ppf;
-  cluster_scheme ppf;
-  zipf_skew ppf;
-  hint_quality ppf;
-  mshr_sweep ppf;
-  page_aware ppf;
-  interference ppf;
-  dynamic_updates ppf;
-  miss_curves ppf;
-  associativity ppf;
-  veb_layout ppf
+let names =
+  [
+    "color-frac";
+    "cluster-scheme";
+    "zipf-skew";
+    "hint-quality";
+    "mshr-sweep";
+    "page-aware";
+    "interference";
+    "dynamic-updates";
+    "miss-curves";
+    "associativity";
+    "veb-layout";
+  ]
+
+let run_named ?seed name ppf =
+  match name with
+  | "color-frac" -> Some (color_frac ?seed ppf)
+  | "cluster-scheme" -> Some (cluster_scheme ?seed ppf)
+  | "zipf-skew" -> Some (zipf_skew ?seed ppf)
+  | "hint-quality" -> Some (hint_quality ?seed ppf)
+  | "mshr-sweep" -> Some (mshr_sweep ?seed ppf)
+  | "page-aware" -> Some (page_aware ?seed ppf)
+  | "interference" -> Some (interference ?seed ppf)
+  | "dynamic-updates" -> Some (dynamic_updates ?seed ppf)
+  | "miss-curves" -> Some (miss_curves ?seed ppf)
+  | "associativity" -> Some (associativity ?seed ppf)
+  | "veb-layout" -> Some (veb_layout ?seed ppf)
+  | _ -> None
+
+let all ?seed ppf =
+  J.Obj (List.map (fun n -> (n, Option.get (run_named ?seed n ppf))) names)

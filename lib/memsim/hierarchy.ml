@@ -139,6 +139,41 @@ let hw_prefetches t = t.hw_prefetches
 let sw_prefetches_dropped t = t.dropped
 let prefetches_consumed t = (t.consumed, t.saved)
 
+type stats = {
+  h_l1 : Cache.stats;
+  h_l2 : Cache.stats;
+  h_tlb : Tlb.stats option;
+  h_hw_prefetches : int;
+  h_sw_prefetches_dropped : int;
+  h_prefetches_consumed : int;
+  h_prefetch_cycles_saved : int;
+}
+
+let copy_cache_stats (s : Cache.stats) = { s with Cache.reads = s.Cache.reads }
+
+let stats t =
+  {
+    h_l1 = copy_cache_stats (Cache.stats t.l1);
+    h_l2 = copy_cache_stats (Cache.stats t.l2);
+    h_tlb = Option.map Tlb.stats t.tlb;
+    h_hw_prefetches = t.hw_prefetches;
+    h_sw_prefetches_dropped = t.dropped;
+    h_prefetches_consumed = t.consumed;
+    h_prefetch_cycles_saved = t.saved;
+  }
+
+let pp_stats ppf t =
+  let s = stats t in
+  Format.fprintf ppf "L1: %a@." Cache.pp_stats s.h_l1;
+  Format.fprintf ppf "L2: %a@." Cache.pp_stats s.h_l2;
+  (match s.h_tlb with
+  | None -> ()
+  | Some tlb -> Format.fprintf ppf "TLB: %a@." Tlb.pp_stats tlb);
+  Format.fprintf ppf
+    "prefetch: hw_scheduled=%d sw_dropped=%d consumed=%d cycles_saved=%d@."
+    s.h_hw_prefetches s.h_sw_prefetches_dropped s.h_prefetches_consumed
+    s.h_prefetch_cycles_saved
+
 let pp ppf t =
   Format.fprintf ppf "L1[%a] L2[%a] lat=%d/%d/%d%s" Cache_config.pp
     (Cache.config t.l1) Cache_config.pp (Cache.config t.l2) t.lat.l1_hit

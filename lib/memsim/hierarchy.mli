@@ -77,4 +77,22 @@ val prefetches_consumed : t -> int * int
 (** [(count, cycles_saved)]: pending fills absorbed by demand accesses
     and the total latency they hid (telemetry for prefetch studies). *)
 
+type stats = {
+  h_l1 : Cache.stats;
+  h_l2 : Cache.stats;
+  h_tlb : Tlb.stats option;
+  h_hw_prefetches : int;
+  h_sw_prefetches_dropped : int;
+  h_prefetches_consumed : int;
+  h_prefetch_cycles_saved : int;
+}
+
+val stats : t -> stats
+(** One snapshot of {e every} counter the hierarchy keeps (cache stats
+    are copied, not aliased).  This is the record the telemetry layer
+    serializes; {!pp_stats} prints all of it, including the fields the
+    per-figure tables elide (writebacks, prefetch installs, TLB). *)
+
+val pp_stats : Format.formatter -> t -> unit
+
 val pp : Format.formatter -> t -> unit

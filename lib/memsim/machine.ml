@@ -1,3 +1,5 @@
+type subscription = int
+
 type t = {
   cfg : Config.t;
   mem : Memory.t;
@@ -5,6 +7,11 @@ type t = {
   cost : Cost.t;
   mutable brk : Addr.t;
   mutable tracer : (bool -> Addr.t -> unit) option;
+  mutable subs : (subscription * (bool -> Addr.t -> unit)) list;
+  mutable next_sub : int;
+  (* fan-out over tracer + subs, cached so the per-access fast path stays
+     a single option match *)
+  mutable notify : (bool -> Addr.t -> unit) option;
 }
 
 let create (cfg : Config.t) =
@@ -20,6 +27,9 @@ let create (cfg : Config.t) =
     (* Start allocation at one page so address 0 stays null. *)
     brk = cfg.page_bytes;
     tracer = None;
+    subs = [];
+    next_sub = 0;
+    notify = None;
   }
 
 let config t = t.cfg
@@ -50,9 +60,34 @@ let charge_store t lat =
 let now t = Cost.total t.cost
 
 let trace t write a =
-  match t.tracer with None -> () | Some f -> f write a
+  match t.notify with None -> () | Some f -> f write a
 
-let set_tracer t f = t.tracer <- f
+let rebuild_notify t =
+  t.notify <-
+    (match (t.tracer, t.subs) with
+    | None, [] -> None
+    | Some f, [] -> Some f
+    | None, [ (_, f) ] -> Some f
+    | tracer, subs ->
+        Some
+          (fun w a ->
+            (match tracer with None -> () | Some f -> f w a);
+            List.iter (fun (_, f) -> f w a) subs))
+
+let set_tracer t f =
+  t.tracer <- f;
+  rebuild_notify t
+
+let subscribe t f =
+  let id = t.next_sub in
+  t.next_sub <- id + 1;
+  t.subs <- t.subs @ [ (id, f) ];
+  rebuild_notify t;
+  id
+
+let unsubscribe t id =
+  t.subs <- List.filter (fun (i, _) -> i <> id) t.subs;
+  rebuild_notify t
 
 let load32 t a =
   trace t false a;

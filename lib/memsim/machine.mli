@@ -66,12 +66,27 @@ val uload32s : t -> Addr.t -> int
 val uloadf : t -> Addr.t -> float
 val ustoref : t -> Addr.t -> float -> unit
 
-(** {1 Tracing} *)
+(** {1 Tracing}
+
+    Observers are called on every timed access with [(is_write,
+    address)]; untimed accesses are not observed.  Two mechanisms
+    coexist: a single primary tracer slot ([set_tracer], kept for the
+    classic capture-a-trace workflow) and any number of subscriptions
+    ([subscribe]), so several profilers can watch one run without
+    displacing each other.  The fast path costs one option match when
+    nothing is attached. *)
 
 val set_tracer : t -> (bool -> Addr.t -> unit) option -> unit
-(** Install (or remove) an observer called on every timed access with
-    [(is_write, address)] — typically [Trace.record].  Untimed accesses
-    are not observed. *)
+(** Install (or remove) the primary observer — typically
+    [Trace.record].  Subscriptions are unaffected. *)
+
+type subscription
+
+val subscribe : t -> (bool -> Addr.t -> unit) -> subscription
+(** Add an additional observer; observers run in subscription order
+    after the primary tracer. *)
+
+val unsubscribe : t -> subscription -> unit
 
 (** {1 Measurement} *)
 

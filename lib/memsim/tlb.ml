@@ -74,6 +74,18 @@ let access t a =
 let hits t = t.hits
 let misses t = t.misses
 
+type stats = { t_hits : int; t_misses : int }
+
+let stats t = { t_hits = t.hits; t_misses = t.misses }
+
+let stats_miss_rate s =
+  let n = s.t_hits + s.t_misses in
+  if n = 0 then 0. else float_of_int s.t_misses /. float_of_int n
+
+let pp_stats ppf s =
+  Format.fprintf ppf "hits=%d misses=%d miss_rate=%.4f" s.t_hits s.t_misses
+    (stats_miss_rate s)
+
 let clear t =
   Array.fill t.pages 0 (Array.length t.pages) (-1);
   Array.fill t.last_use 0 (Array.length t.last_use) 0

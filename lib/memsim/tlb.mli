@@ -26,5 +26,15 @@ val access : t -> Addr.t -> int
 
 val hits : t -> int
 val misses : t -> int
+
+type stats = { t_hits : int; t_misses : int }
+(** Snapshot form, mirroring {!Cache.stats} for uniform reporting. *)
+
+val stats : t -> stats
+val stats_miss_rate : stats -> float
+(** [misses / (hits + misses)]; [0.] when idle. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
 val clear : t -> unit
 val reset_stats : t -> unit

@@ -1,0 +1,200 @@
+type histo = {
+  bounds : float array;  (* ascending upper bounds, without +inf *)
+  counts : int array;  (* length = Array.length bounds + 1 *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type cell =
+  | Counter of int ref
+  | Gauge of float ref
+  | Histogram of histo
+
+type instrument = {
+  i_name : string;
+  i_help : string;
+  i_labels : (string * string) list;
+  i_cell : cell;
+}
+
+type t = {
+  on : bool;
+  table : (string * (string * string) list, instrument) Hashtbl.t;
+  mutable order : instrument list;  (* reversed registration order *)
+  mutable sinks : (Json.t -> unit) list;
+}
+
+let create ?(enabled = true) () =
+  { on = enabled; table = Hashtbl.create 64; order = []; sinks = [] }
+
+let disabled = create ~enabled:false ()
+let default = create ()
+let enabled t = t.on
+
+type counter = { c : int ref; c_on : bool }
+type gauge = { g : float ref; g_on : bool }
+type histogram = { h : histo; h_on : bool }
+
+let sorted_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+(* Return the interned instrument for (name, labels), creating the cell
+   with [make] on first use.  Kind clashes (a counter re-registered as a
+   gauge) are programming errors and raise. *)
+let intern t name labels ~help ~make ~check =
+  let key = (name, sorted_labels labels) in
+  match Hashtbl.find_opt t.table key with
+  | Some i ->
+      if not (check i.i_cell) then
+        invalid_arg
+          (Printf.sprintf "Metrics: %S re-registered with a different type" name);
+      i.i_cell
+  | None ->
+      let i = { i_name = name; i_help = help; i_labels = sorted_labels labels; i_cell = make () } in
+      Hashtbl.replace t.table key i;
+      t.order <- i :: t.order;
+      i.i_cell
+
+let counter t ?(help = "") ?(labels = []) name =
+  if not t.on then { c = ref 0; c_on = false }
+  else
+    match
+      intern t name labels ~help
+        ~make:(fun () -> Counter (ref 0))
+        ~check:(function Counter _ -> true | _ -> false)
+    with
+    | Counter r -> { c = r; c_on = true }
+    | _ -> assert false
+
+let incr c = if c.c_on then Stdlib.incr c.c
+let add c n = if c.c_on then c.c := !(c.c) + n
+let counter_value c = !(c.c)
+
+let gauge t ?(help = "") ?(labels = []) name =
+  if not t.on then { g = ref 0.; g_on = false }
+  else
+    match
+      intern t name labels ~help
+        ~make:(fun () -> Gauge (ref 0.))
+        ~check:(function Gauge _ -> true | _ -> false)
+    with
+    | Gauge r -> { g = r; g_on = true }
+    | _ -> assert false
+
+let set g v = if g.g_on then g.g := v
+let gauge_value g = !(g.g)
+
+let fresh_histo bounds =
+  let bounds = Array.of_list bounds in
+  Array.iteri
+    (fun i b ->
+      if i > 0 && bounds.(i - 1) >= b then
+        invalid_arg "Metrics.histogram: buckets must be strictly increasing")
+    bounds;
+  {
+    bounds;
+    counts = Array.make (Array.length bounds + 1) 0;
+    h_sum = 0.;
+    h_count = 0;
+  }
+
+let histogram t ?(help = "") ?(labels = []) ~buckets name =
+  if not t.on then { h = fresh_histo buckets; h_on = false }
+  else
+    match
+      intern t name labels ~help
+        ~make:(fun () -> Histogram (fresh_histo buckets))
+        ~check:(function Histogram _ -> true | _ -> false)
+    with
+    | Histogram h -> { h; h_on = true }
+    | _ -> assert false
+
+let observe hg v =
+  if hg.h_on then begin
+    let h = hg.h in
+    let n = Array.length h.bounds in
+    let rec bucket i = if i = n || v <= h.bounds.(i) then i else bucket (i + 1) in
+    let b = bucket 0 in
+    h.counts.(b) <- h.counts.(b) + 1;
+    h.h_sum <- h.h_sum +. v;
+    h.h_count <- h.h_count + 1
+  end
+
+let histogram_counts hg =
+  let h = hg.h in
+  let cum = ref 0 in
+  let below =
+    Array.to_list
+      (Array.mapi
+         (fun i b ->
+           cum := !cum + h.counts.(i);
+           (b, !cum))
+         h.bounds)
+  in
+  below @ [ (infinity, h.h_count) ]
+
+let histogram_sum hg = hg.h.h_sum
+let histogram_count hg = hg.h.h_count
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let labels_json labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+let instrument_json i =
+  let common =
+    [ ("name", Json.String i.i_name) ]
+    @ (if i.i_help = "" then [] else [ ("help", Json.String i.i_help) ])
+    @ if i.i_labels = [] then [] else [ ("labels", labels_json i.i_labels) ]
+  in
+  match i.i_cell with
+  | Counter r -> Json.Obj (common @ [ ("type", Json.String "counter"); ("value", Json.Int !r) ])
+  | Gauge r -> Json.Obj (common @ [ ("type", Json.String "gauge"); ("value", Json.Float !r) ])
+  | Histogram h ->
+      let buckets =
+        Json.List
+          (List.mapi
+             (fun i c ->
+               let le =
+                 if i < Array.length h.bounds then Json.Float h.bounds.(i)
+                 else Json.String "+inf"
+               in
+               Json.Obj [ ("le", le); ("count", Json.Int c) ])
+             (Array.to_list h.counts
+             |> List.to_seq |> Seq.scan ( + ) 0 |> Seq.drop 1 |> List.of_seq))
+      in
+      Json.Obj
+        (common
+        @ [
+            ("type", Json.String "histogram");
+            ("count", Json.Int h.h_count);
+            ("sum", Json.Float h.h_sum);
+            ("buckets", buckets);
+          ])
+
+let to_json t =
+  Json.Obj [ ("metrics", Json.List (List.rev_map instrument_json t.order)) ]
+
+let add_sink t sink = t.sinks <- sink :: t.sinks
+let flush t = List.iter (fun sink -> sink (to_json t)) t.sinks
+
+let pp ppf t =
+  List.iter
+    (fun i ->
+      let labels =
+        match i.i_labels with
+        | [] -> ""
+        | ls ->
+            "{"
+            ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+            ^ "}"
+      in
+      match i.i_cell with
+      | Counter r -> Format.fprintf ppf "%s%s %d@." i.i_name labels !r
+      | Gauge r -> Format.fprintf ppf "%s%s %g@." i.i_name labels !r
+      | Histogram h ->
+          Format.fprintf ppf "%s%s count=%d sum=%g@." i.i_name labels h.h_count
+            h.h_sum)
+    (List.rev t.order)

@@ -1,0 +1,73 @@
+(** A metrics registry: named counters, gauges and histograms with
+    optional labels, a pluggable sink API, and a zero-cost disabled mode.
+
+    Instruments are interned by (name, labels): asking a registry twice
+    for the same instrument returns the same cell, so call sites anywhere
+    in the stack can cheaply re-acquire "their" counter.  A registry
+    created disabled (or the shared {!disabled} one) hands out inert
+    instruments whose updates are a single branch — experiment kernels
+    can stay instrumented unconditionally.
+
+    The registry serializes to the experiment-export JSON schema
+    ({!to_json}) and pretty-prints for the CLI ([--metrics]). *)
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+(** A fresh registry; [enabled] defaults to [true]. *)
+
+val disabled : t
+(** A shared always-off registry: every instrument it returns is inert. *)
+
+val default : t
+(** The process-wide registry the harness and CLI record into. *)
+
+val enabled : t -> bool
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram :
+  t -> ?help:string -> ?labels:(string * string) list ->
+  buckets:float list -> string -> histogram
+(** [buckets] are upper bounds (ascending); an implicit [+inf] bucket is
+    appended.  @raise Invalid_argument if bounds are not increasing. *)
+
+val observe : histogram -> float -> unit
+
+val histogram_counts : histogram -> (float * int) list
+(** Cumulative count per upper bound, ending with [(infinity, total)]. *)
+
+val histogram_sum : histogram -> float
+val histogram_count : histogram -> int
+
+(** {1 Sinks and export} *)
+
+val add_sink : t -> (Json.t -> unit) -> unit
+(** Register a sink; {!flush} sends the registry's JSON dump to each. *)
+
+val flush : t -> unit
+
+val to_json : t -> Json.t
+(** All instruments in registration order:
+    [{"metrics": [{"name", "type", "labels", ...value fields}]}]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,379 @@
+module A = Memsim.Addr
+
+(* ------------------------------------------------------------------ *)
+(* Fenwick tree over access time (1-based), growable                   *)
+(* ------------------------------------------------------------------ *)
+
+module Bit = struct
+  (* [add] must propagate through every ancestor node up to a FIXED
+     power-of-two capacity, or nodes that later become addressable
+     would not cover flags added before they existed.  When the
+     capacity doubles, the only new node whose range spans old
+     positions is the new root (it covers [(0, 2*cap]]), and its value
+     is exactly the old root's total. *)
+  type t = { mutable tree : int array; mutable cap : int; mutable n : int }
+
+  let create () = { tree = Array.make 4097 0; cap = 4096; n = 0 }
+
+  let grow t i =
+    while i > t.cap do
+      let cap' = 2 * t.cap in
+      let tree = Array.make (cap' + 1) 0 in
+      Array.blit t.tree 0 tree 0 (t.cap + 1);
+      tree.(cap') <- tree.(t.cap);
+      t.tree <- tree;
+      t.cap <- cap'
+    done
+
+  (* make position [i] addressable *)
+  let ensure t i =
+    grow t i;
+    if i > t.n then t.n <- i
+
+  let add t i delta =
+    ensure t i;
+    let i = ref i in
+    while !i <= t.cap do
+      t.tree.(!i) <- t.tree.(!i) + delta;
+      i := !i + (!i land - !i)
+    done
+
+  (* sum of positions [1..i] *)
+  let prefix t i =
+    let i = ref (min i t.n) in
+    let s = ref 0 in
+    while !i > 0 do
+      s := !s + t.tree.(!i);
+      i := !i - (!i land - !i)
+    done;
+    !s
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reuse distance                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Reuse = struct
+  type t = {
+    block_bytes : int;
+    bit : Bit.t;  (* flag at time t: the block last accessed at t *)
+    last : (int, int) Hashtbl.t;  (* block index -> last access time *)
+    hist : (int, int) Hashtbl.t;  (* finite distance -> count *)
+    mutable time : int;
+    mutable cold : int;
+  }
+
+  let create ~block_bytes =
+    if not (A.is_pow2 block_bytes) then
+      invalid_arg "Reuse.create: block_bytes must be a power of two";
+    {
+      block_bytes;
+      bit = Bit.create ();
+      last = Hashtbl.create 4096;
+      hist = Hashtbl.create 256;
+      time = 0;
+      cold = 0;
+    }
+
+  let on_access t _write addr =
+    let b = A.block_index addr ~block_bytes:t.block_bytes in
+    let now = t.time + 1 in
+    t.time <- now;
+    Bit.ensure t.bit now;
+    (match Hashtbl.find_opt t.last b with
+    | Some t0 ->
+        (* distinct other blocks whose latest access lies in (t0, now) *)
+        let d = Bit.prefix t.bit (now - 1) - Bit.prefix t.bit t0 in
+        Hashtbl.replace t.hist d
+          (1 + Option.value (Hashtbl.find_opt t.hist d) ~default:0);
+        Bit.add t.bit t0 (-1)
+    | None -> t.cold <- t.cold + 1);
+    Bit.add t.bit now 1;
+    Hashtbl.replace t.last b now
+
+  let accesses t = t.time
+  let cold_misses t = t.cold
+  let distinct_blocks t = Hashtbl.length t.last
+
+  let histogram t =
+    Hashtbl.fold (fun d c acc -> (d, c) :: acc) t.hist []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let binned t =
+    let bins = Hashtbl.create 32 in
+    Hashtbl.iter
+      (fun d c ->
+        let lo, hi =
+          if d = 0 then (0, 0)
+          else
+            let k = ref 0 in
+            while d lsr !k > 1 do
+              incr k
+            done;
+            (1 lsl !k, (1 lsl (!k + 1)) - 1)
+        in
+        Hashtbl.replace bins (lo, hi)
+          (c + Option.value (Hashtbl.find_opt bins (lo, hi)) ~default:0))
+      t.hist;
+    Hashtbl.fold (fun (lo, hi) c acc -> (lo, hi, c) :: acc) bins []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+  let implied_misses t ~blocks =
+    t.cold
+    + Hashtbl.fold (fun d c acc -> if d >= blocks then acc + c else acc) t.hist 0
+
+  let implied_miss_rate t ~blocks =
+    if t.time = 0 then 0.
+    else float_of_int (implied_misses t ~blocks) /. float_of_int t.time
+
+  let miss_rate_curve t ~capacities_blocks =
+    List.map (fun c -> (c, implied_miss_rate t ~blocks:c)) capacities_blocks
+
+  let to_json t =
+    Json.Obj
+      [
+        ("block_bytes", Json.Int t.block_bytes);
+        ("accesses", Json.Int t.time);
+        ("cold_misses", Json.Int t.cold);
+        ("distinct_blocks", Json.Int (distinct_blocks t));
+        ( "histogram",
+          Json.List
+            (List.map
+               (fun (lo, hi, c) ->
+                 Json.Obj
+                   [
+                     ("distance_lo", Json.Int lo);
+                     ("distance_hi", Json.Int hi);
+                     ("count", Json.Int c);
+                   ])
+               (binned t)) );
+      ]
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "reuse distance (%d B blocks): %d accesses, %d distinct blocks, %d cold@."
+      t.block_bytes t.time (distinct_blocks t) t.cold;
+    let total = max 1 t.time in
+    List.iter
+      (fun (lo, hi, c) ->
+        Format.fprintf ppf "  d %9d..%-9d %10d  (%5.2f%%)@." lo hi c
+          (100. *. float_of_int c /. float_of_int total))
+      (binned t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Spatial locality / block utilization                                *)
+(* ------------------------------------------------------------------ *)
+
+module Spatial = struct
+  type t = {
+    block_bytes : int;
+    word_bytes : int;
+    words_per_block : int;
+    masks : (int, int) Hashtbl.t;  (* block index -> touched-word bitmask *)
+    mutable accesses : int;
+  }
+
+  let create ?(word_bytes = 4) ~block_bytes () =
+    if not (A.is_pow2 block_bytes && A.is_pow2 word_bytes) then
+      invalid_arg "Spatial.create: sizes must be powers of two";
+    let words_per_block = block_bytes / word_bytes in
+    if words_per_block < 1 || words_per_block > 64 then
+      invalid_arg "Spatial.create: between 1 and 64 words per block";
+    { block_bytes; word_bytes; words_per_block; masks = Hashtbl.create 4096; accesses = 0 }
+
+  let on_access t _write addr =
+    t.accesses <- t.accesses + 1;
+    let b = A.block_index addr ~block_bytes:t.block_bytes in
+    let w = A.offset_in_block addr ~block_bytes:t.block_bytes / t.word_bytes in
+    let prev = Option.value (Hashtbl.find_opt t.masks b) ~default:0 in
+    Hashtbl.replace t.masks b (prev lor (1 lsl w))
+
+  let popcount m =
+    let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+    go m 0
+
+  let blocks_touched t = Hashtbl.length t.masks
+
+  let touched_words t = Hashtbl.fold (fun _ m acc -> acc + popcount m) t.masks 0
+
+  let avg_words_touched t =
+    let n = blocks_touched t in
+    if n = 0 then 0. else float_of_int (touched_words t) /. float_of_int n
+
+  let utilization t =
+    if blocks_touched t = 0 then 0.
+    else avg_words_touched t /. float_of_int t.words_per_block
+
+  let measured_k t ~elem_bytes =
+    if elem_bytes <= 0 then invalid_arg "Spatial.measured_k: elem_bytes <= 0";
+    avg_words_touched t *. float_of_int t.word_bytes /. float_of_int elem_bytes
+
+  let words_histogram t =
+    let counts = Array.make (t.words_per_block + 1) 0 in
+    Hashtbl.iter (fun _ m -> counts.(popcount m) <- counts.(popcount m) + 1) t.masks;
+    Array.to_list counts
+    |> List.mapi (fun w c -> (w, c))
+    |> List.filter (fun (_, c) -> c > 0)
+
+  let to_json t =
+    Json.Obj
+      [
+        ("block_bytes", Json.Int t.block_bytes);
+        ("word_bytes", Json.Int t.word_bytes);
+        ("accesses", Json.Int t.accesses);
+        ("blocks_touched", Json.Int (blocks_touched t));
+        ("avg_words_touched", Json.Float (avg_words_touched t));
+        ("utilization", Json.Float (utilization t));
+        ( "words_histogram",
+          Json.List
+            (List.map
+               (fun (w, c) ->
+                 Json.Obj [ ("words", Json.Int w); ("blocks", Json.Int c) ])
+               (words_histogram t)) );
+      ]
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "block utilization (%d B blocks, %d B words): %d blocks, %.2f/%d words \
+       touched (%.1f%%)@."
+      t.block_bytes t.word_bytes (blocks_touched t) (avg_words_touched t)
+      t.words_per_block
+      (100. *. utilization t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Cache-set occupancy                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Occupancy = struct
+  type t = {
+    cfg : Memsim.Cache_config.t;
+    hot_first_set : int;
+    hot_sets : int;
+    counts : int array;
+    mutable accesses : int;
+  }
+
+  let create ?(hot_first_set = 0) ?hot_sets cfg =
+    let sets = cfg.Memsim.Cache_config.sets in
+    let hot_sets = Option.value hot_sets ~default:(sets / 2) in
+    if hot_first_set < 0 || hot_sets < 0 || hot_first_set + hot_sets > sets then
+      invalid_arg "Occupancy.create: hot region exceeds the cache";
+    { cfg; hot_first_set; hot_sets; counts = Array.make sets 0; accesses = 0 }
+
+  let on_access t _write addr =
+    let s = Memsim.Cache_config.set_of_addr t.cfg addr in
+    t.counts.(s) <- t.counts.(s) + 1;
+    t.accesses <- t.accesses + 1
+
+  let accesses t = t.accesses
+  let set_counts t = t.counts
+
+  let in_hot t s = s >= t.hot_first_set && s < t.hot_first_set + t.hot_sets
+
+  let hot_accesses t =
+    let acc = ref 0 in
+    Array.iteri (fun s c -> if in_hot t s then acc := !acc + c) t.counts;
+    !acc
+
+  let hot_share t =
+    if t.accesses = 0 then 0.
+    else float_of_int (hot_accesses t) /. float_of_int t.accesses
+
+  let buckets t n =
+    let sets = Array.length t.counts in
+    let n = min n sets in
+    let out = Array.make n 0 in
+    Array.iteri (fun s c -> out.(s * n / sets) <- (out.(s * n / sets) + c)) t.counts;
+    out
+
+  let pp_heatmap ppf t =
+    let n = 64 in
+    let b = buckets t n in
+    let peak = Array.fold_left max 1 b in
+    let shades = " .:-=+*#%@" in
+    let glyph c =
+      if c = 0 then ' '
+      else
+        let i = 1 + (c * (String.length shades - 2) / peak) in
+        shades.[min i (String.length shades - 1)]
+    in
+    let sets = Array.length t.counts in
+    let marker i =
+      (* bucket i covers sets [i*sets/n, (i+1)*sets/n) *)
+      let lo = i * sets / n and hi = ((i + 1) * sets / n) - 1 in
+      if in_hot t lo && in_hot t hi then '^' else ' '
+    in
+    Format.fprintf ppf "  sets 0..%d left to right, %d sets/char, peak %d \
+                        accesses/char@."
+      (sets - 1) (max 1 (sets / n)) peak;
+    Format.fprintf ppf "  [%s]@." (String.init n (fun i -> glyph b.(i)));
+    Format.fprintf ppf "   %s   <- hot region@." (String.init n marker)
+
+  let to_json t =
+    let b = buckets t 64 in
+    Json.Obj
+      [
+        ("sets", Json.Int (Array.length t.counts));
+        ("hot_first_set", Json.Int t.hot_first_set);
+        ("hot_sets", Json.Int t.hot_sets);
+        ("accesses", Json.Int t.accesses);
+        ("hot_accesses", Json.Int (hot_accesses t));
+        ("hot_share", Json.Float (hot_share t));
+        ( "buckets",
+          Json.List (Array.to_list (Array.map (fun c -> Json.Int c) b)) );
+      ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Combined                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  reuse : Reuse.t;
+  spatial : Spatial.t;
+  occupancy : Occupancy.t;
+}
+
+let create ?hot_first_set ?(hot_frac = 0.5) ~l2 () =
+  let block_bytes = l2.Memsim.Cache_config.block_bytes in
+  let hot_sets =
+    int_of_float (hot_frac *. float_of_int l2.Memsim.Cache_config.sets)
+  in
+  {
+    reuse = Reuse.create ~block_bytes;
+    spatial = Spatial.create ~block_bytes ();
+    occupancy = Occupancy.create ?hot_first_set ~hot_sets l2;
+  }
+
+let for_machine ?hot_first_set ?hot_frac m =
+  let l2 =
+    Memsim.Cache.config (Memsim.Hierarchy.l2 (Memsim.Machine.hierarchy m))
+  in
+  create ?hot_first_set ?hot_frac ~l2 ()
+
+let tracer t write addr =
+  Reuse.on_access t.reuse write addr;
+  Spatial.on_access t.spatial write addr;
+  Occupancy.on_access t.occupancy write addr
+
+let attach t m = Memsim.Machine.subscribe m (tracer t)
+
+let to_json t =
+  Json.Obj
+    [
+      ("reuse", Reuse.to_json t.reuse);
+      ("spatial", Spatial.to_json t.spatial);
+      ("occupancy", Occupancy.to_json t.occupancy);
+    ]
+
+let pp ppf t =
+  Reuse.pp ppf t.reuse;
+  Spatial.pp ppf t.spatial;
+  Format.fprintf ppf "set occupancy: hot share %.1f%% (sets %d..%d of %d)@."
+    (100. *. Occupancy.hot_share t.occupancy)
+    t.occupancy.Occupancy.hot_first_set
+    (t.occupancy.Occupancy.hot_first_set + t.occupancy.Occupancy.hot_sets - 1)
+    (Array.length (Occupancy.set_counts t.occupancy));
+  Occupancy.pp_heatmap ppf t.occupancy

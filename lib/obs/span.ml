@@ -1,0 +1,100 @@
+type completed = {
+  sp_name : string;
+  sp_depth : int;
+  sp_wall_s : float;
+  sp_cycles : int option;
+}
+
+type recorder = {
+  mutable depth : int;
+  mutable log : completed list;  (* reversed completion order *)
+}
+
+let create () = { depth = 0; log = [] }
+let default = create ()
+
+let with_ r ?machine name f =
+  let t0 = Unix.gettimeofday () in
+  let c0 = Option.map Memsim.Machine.cycles machine in
+  let depth = r.depth in
+  r.depth <- depth + 1;
+  let finish () =
+    r.depth <- depth;
+    let sp_cycles =
+      match (machine, c0) with
+      | Some m, Some c0 -> Some (Memsim.Machine.cycles m - c0)
+      | _ -> None
+    in
+    r.log <-
+      {
+        sp_name = name;
+        sp_depth = depth;
+        sp_wall_s = Unix.gettimeofday () -. t0;
+        sp_cycles;
+      }
+      :: r.log
+  in
+  Fun.protect ~finally:finish f
+
+let completed r = List.rev r.log
+
+let aggregate r =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun sp ->
+      let count, wall, cycles =
+        match Hashtbl.find_opt tbl sp.sp_name with
+        | Some acc -> acc
+        | None ->
+            order := sp.sp_name :: !order;
+            (0, 0., 0)
+      in
+      Hashtbl.replace tbl sp.sp_name
+        ( count + 1,
+          wall +. sp.sp_wall_s,
+          cycles + Option.value sp.sp_cycles ~default:0 ))
+    (completed r);
+  List.rev_map
+    (fun name ->
+      let count, wall, cycles = Hashtbl.find tbl name in
+      (name, count, wall, cycles))
+    !order
+
+let to_json r =
+  let span_json sp =
+    Json.Obj
+      ([
+         ("name", Json.String sp.sp_name);
+         ("depth", Json.Int sp.sp_depth);
+         ("wall_s", Json.Float sp.sp_wall_s);
+       ]
+      @ match sp.sp_cycles with None -> [] | Some c -> [ ("cycles", Json.Int c) ])
+  in
+  Json.Obj
+    [
+      ("spans", Json.List (List.map span_json (completed r)));
+      ( "totals",
+        Json.List
+          (List.map
+             (fun (name, count, wall, cycles) ->
+               Json.Obj
+                 [
+                   ("name", Json.String name);
+                   ("count", Json.Int count);
+                   ("wall_s", Json.Float wall);
+                   ("cycles", Json.Int cycles);
+                 ])
+             (aggregate r)) );
+    ]
+
+let pp ppf r =
+  List.iter
+    (fun sp ->
+      Format.fprintf ppf "%s%-40s %8.3fs%s@."
+        (String.make (2 * sp.sp_depth) ' ')
+        sp.sp_name sp.sp_wall_s
+        (match sp.sp_cycles with
+        | None -> ""
+        | Some c -> Printf.sprintf "  %d cycles" c))
+    (completed r)

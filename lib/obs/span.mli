@@ -1,0 +1,34 @@
+(** Scoped spans: wall-clock plus simulated-cycle timing per phase.
+
+    A recorder keeps a stack of open spans and a chronological log of
+    completed ones; [with_] brackets a phase, capturing wall time always
+    and simulated cycles when a {!Memsim.Machine.t} is supplied (the
+    cycle delta of that machine across the phase).  Nesting is recorded
+    as a depth so reports can indent. *)
+
+type recorder
+
+val create : unit -> recorder
+
+val default : recorder
+(** The process-wide recorder the harness and CLI record into. *)
+
+type completed = {
+  sp_name : string;
+  sp_depth : int;  (** 0 = top level *)
+  sp_wall_s : float;
+  sp_cycles : int option;  (** simulated cycles, when a machine was given *)
+}
+
+val with_ : recorder -> ?machine:Memsim.Machine.t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span.  Exceptions propagate; the span is
+    closed either way. *)
+
+val completed : recorder -> completed list
+(** Chronological (completion order). *)
+
+val aggregate : recorder -> (string * int * float * int) list
+(** Per name: (name, count, total wall seconds, total cycles). *)
+
+val to_json : recorder -> Json.t
+val pp : Format.formatter -> recorder -> unit

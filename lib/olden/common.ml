@@ -54,6 +54,7 @@ type ctx = {
   alloc : Alloc.Allocator.t;
   sw_prefetch : bool;
   morph_params : Ccsl.Ccmorph.params option;
+  cc : Ccsl.Ccmalloc.t option;
 }
 
 let drop_hints (a : Alloc.Allocator.t) =
@@ -71,8 +72,11 @@ let make_ctx ?config placement =
   in
   let machine = Machine.create config in
   let malloc () = Alloc.Malloc.allocator (Alloc.Malloc.create machine) in
+  let cc = ref None in
   let ccmalloc strategy =
-    Ccsl.Ccmalloc.allocator (Ccsl.Ccmalloc.create ~strategy machine)
+    let c = Ccsl.Ccmalloc.create ~strategy machine in
+    cc := Some c;
+    Ccsl.Ccmalloc.allocator c
   in
   let alloc =
     match placement with
@@ -97,6 +101,7 @@ let make_ctx ?config placement =
     alloc;
     sw_prefetch = placement = Sw_prefetch;
     morph_params;
+    cc = !cc;
   }
 
 type result = {

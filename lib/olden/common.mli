@@ -32,6 +32,9 @@ type ctx = {
   sw_prefetch : bool;  (** kernels consult this to issue greedy prefetches *)
   morph_params : Ccsl.Ccmorph.params option;
       (** Some p for the two ccmorph placements, None otherwise *)
+  cc : Ccsl.Ccmalloc.t option;
+      (** the concrete ccmalloc behind [alloc], when the placement uses
+          one — exposes placement counters to the telemetry layer *)
 }
 
 val make_ctx : ?config:Memsim.Config.t -> placement -> ctx

@@ -162,8 +162,11 @@ let morph_all_lists (ctx : Common.ctx) params villages =
         lists;
       ignore params
 
-let run ?(params = default_params) ?(measure_whole = false) ?config placement =
-  let ctx = Common.make_ctx ?config placement in
+let run ?(params = default_params) ?(measure_whole = false) ?config ?ctx
+    placement =
+  let ctx =
+    match ctx with Some c -> c | None -> Common.make_ctx ?config placement
+  in
   let villages = make_villages ctx params in
   (* the measured region is the whole simulation, including every
      periodic ccmorph invocation, as in the paper *)

@@ -32,7 +32,7 @@ val villages_of : params -> int
 
 val run :
   ?params:params -> ?measure_whole:bool -> ?config:Memsim.Config.t ->
-  Common.placement -> Common.result
+  ?ctx:Common.ctx -> Common.placement -> Common.result
 (** Measures the simulation loop including every periodic reorganization,
     as the paper does ("despite this overhead...").  The checksum folds
     the number of treated patients and the final list populations; it is

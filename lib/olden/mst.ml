@@ -60,8 +60,11 @@ let oracle_weight params =
   done;
   !total
 
-let run ?(params = default_params) ?(measure_whole = false) ?config placement =
-  let ctx = Common.make_ctx ?config placement in
+let run ?(params = default_params) ?(measure_whole = false) ?config ?ctx
+    placement =
+  let ctx =
+    match ctx with Some c -> c | None -> Common.make_ctx ?config placement
+  in
   let m = ctx.Common.machine in
   let n = params.vertices in
   (* Per-vertex hash tables, as in Olden's MakeGraph/AddEdges.  Four

@@ -25,7 +25,7 @@ val paper_params : params
 
 val run :
   ?params:params -> ?measure_whole:bool -> ?config:Memsim.Config.t ->
-  Common.placement -> Common.result
+  ?ctx:Common.ctx -> Common.placement -> Common.result
 (** By default measures the MST computation only (graph construction and
     one-time reorganization are fast-forwarded start-up). *)
 

@@ -144,8 +144,11 @@ let rec perimeter (ctx : Common.ctx) node size =
   end
   else 0
 
-let run ?(params = default_params) ?(measure_whole = false) ?config placement =
-  let ctx = Common.make_ctx ?config placement in
+let run ?(params = default_params) ?(measure_whole = false) ?config ?ctx
+    placement =
+  let ctx =
+    match ctx with Some c -> c | None -> Common.make_ctx ?config placement
+  in
   let m = ctx.Common.machine in
   let tree =
     Qt.build

@@ -52,8 +52,11 @@ let rec sum (ctx : Common.ctx) node =
     v + sl + sr
   end
 
-let run ?(params = default_params) ?(measure_whole = false) ?config placement =
-  let ctx = Common.make_ctx ?config placement in
+let run ?(params = default_params) ?(measure_whole = false) ?config ?ctx
+    placement =
+  let ctx =
+    match ctx with Some c -> c | None -> Common.make_ctx ?config placement
+  in
   let root = build ctx params.levels A.null in
   let root =
     match ctx.morph_params with

@@ -1,0 +1,559 @@
+(* Tests for the telemetry layer: JSON round-trips and envelope
+   validation, the metrics registry, span recording, the locality
+   profilers (reuse distance checked against a brute-force LRU-stack
+   oracle), trace replay against a live machine, and the profile
+   subcommand's implied-vs-simulated miss-rate cross-check. *)
+
+module J = Obs.Json
+module Machine = Memsim.Machine
+module Config = Memsim.Config
+module Cache = Memsim.Cache
+module Hierarchy = Memsim.Hierarchy
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sample_json =
+  J.Obj
+    [
+      ("null", J.Null);
+      ("bools", J.List [ J.Bool true; J.Bool false ]);
+      ("int", J.Int (-42));
+      ("big", J.Int max_int);
+      ("floats", J.List [ J.Float 0.0625; J.Float (-3.5); J.Float 1e-9 ]);
+      ("integral_float", J.Float 3.0);
+      ("string", J.String "hi \"there\"\n\ttab \\ slash");
+      ("empty_obj", J.Obj []);
+      ("empty_list", J.List []);
+      ("nested", J.Obj [ ("a", J.List [ J.Obj [ ("b", J.Int 1) ] ]) ]);
+    ]
+
+let test_json_roundtrip () =
+  let check_rt ?minify v =
+    match J.of_string (J.to_string ?minify v) with
+    | Ok v' -> Alcotest.(check bool) "round-trip equal" true (J.equal v v')
+    | Error e -> Alcotest.failf "parse error: %s" e
+  in
+  check_rt sample_json;
+  check_rt ~minify:true sample_json;
+  check_rt (J.Int 0);
+  check_rt (J.String "");
+  check_rt (J.List [])
+
+let test_json_floats () =
+  (* Non-finite floats must still emit valid JSON. *)
+  Alcotest.(check string) "nan is null" "null" (J.to_string (J.Float nan));
+  Alcotest.(check string)
+    "inf is null" "null"
+    (J.to_string (J.Float infinity));
+  (* Integral floats keep a marker so they parse back as floats. *)
+  (match J.of_string (J.to_string (J.Float 2.0)) with
+  | Ok (J.Float f) -> Alcotest.(check (float 0.)) "2.0" 2.0 f
+  | _ -> Alcotest.fail "integral float did not parse as Float");
+  match J.of_string "[1, 2.5, -3]" with
+  | Ok (J.List [ J.Int 1; J.Float _; J.Int -3 ]) -> ()
+  | _ -> Alcotest.fail "int/float discrimination"
+
+let test_json_accessors () =
+  let v = sample_json in
+  Alcotest.(check (option int)) "member int" (Some (-42))
+    (Option.bind (J.member "int" v) J.to_int);
+  Alcotest.(check bool) "missing member" true (J.member "nope" v = None);
+  Alcotest.(check (option int)) "nested index" (Some 1)
+    (Option.bind (J.member "nested" v) (fun n ->
+         Option.bind (J.member "a" n) (fun l ->
+             Option.bind (J.index 0 l) (fun o ->
+                 Option.bind (J.member "b" o) J.to_int))));
+  Alcotest.(check bool) "parse error reported" true
+    (match J.of_string "{\"a\": }" with Error _ -> true | Ok _ -> false)
+
+(* Random JSON trees round-trip.  Floats are drawn from a dyadic grid so
+   the %.12g emission is exact. *)
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map (fun i -> J.Int i) (int_range (-1000000) 1000000);
+        map (fun i -> J.Float (float_of_int i /. 16.)) (int_range (-4096) 4096);
+        map (fun s -> J.String s) (string_size ~gen:printable (int_bound 12));
+      ]
+  in
+  let rec tree n =
+    if n = 0 then scalar
+    else
+      frequency
+        [
+          (2, scalar);
+          (1, map (fun l -> J.List l) (list_size (int_bound 4) (tree (n - 1))));
+          ( 1,
+            map
+              (fun kvs -> J.Obj kvs)
+              (list_size (int_bound 4)
+                 (pair (string_size ~gen:printable (int_bound 8)) (tree (n - 1))))
+          );
+        ]
+  in
+  tree 3
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"random JSON round-trips"
+    (QCheck.make json_gen)
+    (fun v ->
+      match J.of_string (J.to_string v) with
+      | Ok v' -> J.equal v v'
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Export envelope                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_envelope () =
+  let env =
+    Obs.Export.envelope ~experiment:"fig5" ~scale:"quick" ~seed:7
+      (J.Obj [ ("x", J.Int 1) ])
+  in
+  (match Obs.Export.validate_envelope env with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid envelope rejected: %s" e);
+  Alcotest.(check (option int)) "schema_version" (Some Obs.Export.schema_version)
+    (Option.bind (J.member "schema_version" env) J.to_int);
+  Alcotest.(check (option string)) "experiment" (Some "fig5")
+    (Option.bind (J.member "experiment" env) J.to_str);
+  Alcotest.(check (option int)) "seed" (Some 7)
+    (Option.bind (J.member "seed" env) J.to_int);
+  (* The envelope must survive emission and parsing. *)
+  (match J.of_string (J.to_string env) with
+  | Ok env' -> (
+      match Obs.Export.validate_envelope env' with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "re-parsed envelope rejected: %s" e)
+  | Error e -> Alcotest.failf "envelope did not parse: %s" e);
+  let reject label v =
+    match Obs.Export.validate_envelope v with
+    | Ok () -> Alcotest.failf "%s accepted" label
+    | Error _ -> ()
+  in
+  reject "non-object" (J.Int 3);
+  reject "missing data" (J.Obj [ ("schema_version", J.Int 1) ]);
+  reject "bad version"
+    (J.Obj
+       [
+         ("schema_version", J.Int 999);
+         ("generator", J.String "ccsl");
+         ("experiment", J.String "x");
+         ("data", J.Obj []);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_counters () =
+  let r = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter r ~help:"test" "hits" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 4;
+  Alcotest.(check int) "counts" 5 (Obs.Metrics.counter_value c);
+  (* Interned: a second acquisition is the same cell. *)
+  let c' = Obs.Metrics.counter r "hits" in
+  Obs.Metrics.incr c';
+  Alcotest.(check int) "interned" 6 (Obs.Metrics.counter_value c);
+  (* Distinct labels are distinct cells. *)
+  let cl = Obs.Metrics.counter r ~labels:[ ("bench", "mst") ] "hits" in
+  Obs.Metrics.incr cl;
+  Alcotest.(check int) "labelled separate" 1 (Obs.Metrics.counter_value cl);
+  Alcotest.(check int) "unlabelled untouched" 6 (Obs.Metrics.counter_value c)
+
+let test_metrics_gauge_histogram () =
+  let r = Obs.Metrics.create () in
+  let g = Obs.Metrics.gauge r "ratio" in
+  Obs.Metrics.set g 0.5;
+  Obs.Metrics.set g 0.75;
+  Alcotest.(check (float 0.)) "gauge keeps last" 0.75 (Obs.Metrics.gauge_value g);
+  let h = Obs.Metrics.histogram r ~buckets:[ 1.; 10.; 100. ] "lat" in
+  List.iter (Obs.Metrics.observe h) [ 0.5; 5.; 5.; 50.; 500. ];
+  Alcotest.(check int) "histogram count" 5 (Obs.Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "histogram sum" 560.5 (Obs.Metrics.histogram_sum h);
+  (match Obs.Metrics.histogram_counts h with
+  | [ (_, c1); (_, c2); (_, c3); (inf_b, c4) ] ->
+      Alcotest.(check (list int)) "cumulative buckets" [ 1; 3; 4; 5 ]
+        [ c1; c2; c3; c4 ];
+      Alcotest.(check bool) "last bucket is +inf" true (inf_b = infinity)
+  | l -> Alcotest.failf "expected 4 buckets, got %d" (List.length l));
+  Alcotest.check_raises "non-increasing buckets"
+    (Invalid_argument "Metrics.histogram: buckets must be strictly increasing")
+    (fun () -> ignore (Obs.Metrics.histogram r ~buckets:[ 2.; 1. ] "bad"))
+
+let test_metrics_disabled_and_json () =
+  let d = Obs.Metrics.disabled in
+  let c = Obs.Metrics.counter d "noop" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 100;
+  Alcotest.(check int) "disabled counter stays 0" 0 (Obs.Metrics.counter_value c);
+  let r = Obs.Metrics.create () in
+  Obs.Metrics.incr (Obs.Metrics.counter r "a");
+  Obs.Metrics.set (Obs.Metrics.gauge r "b") 2.;
+  let dump = Obs.Metrics.to_json r in
+  (match Option.bind (J.member "metrics" dump) J.to_list with
+  | Some [ _; _ ] -> ()
+  | _ -> Alcotest.fail "to_json lists both instruments");
+  (* Sinks receive the dump on flush. *)
+  let got = ref None in
+  Obs.Metrics.add_sink r (fun v -> got := Some v);
+  Obs.Metrics.flush r;
+  match !got with
+  | Some v -> Alcotest.(check bool) "sink got dump" true (J.equal v dump)
+  | None -> Alcotest.fail "sink not called"
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_spans () =
+  let rec_ = Obs.Span.create () in
+  let m = Machine.create (Config.tiny ()) in
+  let base = Machine.reserve m ~bytes:4096 ~align:64 in
+  let v =
+    Obs.Span.with_ rec_ ~machine:m "outer" (fun () ->
+        Obs.Span.with_ rec_ "inner" (fun () -> ());
+        for i = 0 to 63 do
+          ignore (Machine.load32 m (base + (4 * i)))
+        done;
+        17)
+  in
+  Alcotest.(check int) "with_ returns" 17 v;
+  (match Obs.Span.completed rec_ with
+  | [ inner; outer ] ->
+      Alcotest.(check string) "inner first (completion order)" "inner"
+        inner.Obs.Span.sp_name;
+      Alcotest.(check int) "inner depth" 1 inner.Obs.Span.sp_depth;
+      Alcotest.(check int) "outer depth" 0 outer.Obs.Span.sp_depth;
+      Alcotest.(check bool) "inner has no cycles" true
+        (inner.Obs.Span.sp_cycles = None);
+      (match outer.Obs.Span.sp_cycles with
+      | Some c -> Alcotest.(check bool) "outer counted cycles" true (c > 0)
+      | None -> Alcotest.fail "outer span lost its machine")
+  | l -> Alcotest.failf "expected 2 completed spans, got %d" (List.length l));
+  (* Exceptions close the span. *)
+  (try Obs.Span.with_ rec_ "boom" (fun () -> failwith "x") with _ -> ());
+  Alcotest.(check int) "span closed on raise" 3
+    (List.length (Obs.Span.completed rec_))
+
+(* ------------------------------------------------------------------ *)
+(* Reuse distance vs a brute-force LRU stack                           *)
+(* ------------------------------------------------------------------ *)
+
+(* O(n^2) oracle: the stack distance of an access is its block's
+   position in a most-recent-first list of all blocks seen so far. *)
+let brute_force_histogram stream =
+  let stack = ref [] in
+  let hist = Hashtbl.create 64 in
+  let cold = ref 0 in
+  List.iter
+    (fun b ->
+      let rec remove acc i = function
+        | [] -> (None, List.rev acc)
+        | x :: tl when x = b -> (Some i, List.rev_append acc tl)
+        | x :: tl -> remove (x :: acc) (i + 1) tl
+      in
+      let idx, rest = remove [] 0 !stack in
+      (match idx with
+      | None -> incr cold
+      | Some d ->
+          Hashtbl.replace hist d
+            (1 + Option.value (Hashtbl.find_opt hist d) ~default:0));
+      stack := b :: rest)
+    stream;
+  let pairs = Hashtbl.fold (fun d c acc -> (d, c) :: acc) hist [] in
+  (!cold, List.sort compare pairs)
+
+let reuse_vs_oracle ~accesses ~universe ~block_bytes ~seed =
+  let rng = Workload.Rng.create seed in
+  let stream =
+    List.init accesses (fun _ ->
+        (* Mix of hot and uniform blocks so all distance ranges occur. *)
+        if Workload.Rng.int rng 2 = 0 then Workload.Rng.int rng 8
+        else Workload.Rng.int rng universe)
+  in
+  let r = Obs.Profile.Reuse.create ~block_bytes in
+  List.iter
+    (fun b ->
+      (* Any offset within the block must land in the same bucket. *)
+      let off = Workload.Rng.int rng block_bytes in
+      Obs.Profile.Reuse.on_access r false ((b * block_bytes) + off))
+    stream;
+  let cold, hist = brute_force_histogram stream in
+  Alcotest.(check int) "accesses" accesses (Obs.Profile.Reuse.accesses r);
+  Alcotest.(check int) "cold misses" cold (Obs.Profile.Reuse.cold_misses r);
+  Alcotest.(check (list (pair int int)))
+    "full histogram matches oracle" hist
+    (Obs.Profile.Reuse.histogram r);
+  (* Implied misses at a few capacities, including non-powers of two. *)
+  List.iter
+    (fun cap ->
+      let oracle =
+        cold
+        + List.fold_left
+            (fun acc (d, c) -> if d >= cap then acc + c else acc)
+            0 hist
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "implied misses at %d blocks" cap)
+        oracle
+        (Obs.Profile.Reuse.implied_misses r ~blocks:cap))
+    [ 1; 3; 8; 17; 64; universe; 2 * universe ]
+
+let test_reuse_oracle_small () =
+  reuse_vs_oracle ~accesses:3000 ~universe:48 ~block_bytes:64 ~seed:11
+
+(* More accesses than the Fenwick tree's initial 4096-slot capacity, so
+   the growable-tree path is exercised (a node added before a capacity
+   doubling must still be covered by prefix sums taken after it). *)
+let test_reuse_oracle_growth () =
+  reuse_vs_oracle ~accesses:10_000 ~universe:96 ~block_bytes:128 ~seed:23
+
+let test_reuse_binned () =
+  let r = Obs.Profile.Reuse.create ~block_bytes:64 in
+  (* 0,1,...,9 then 0 again: distance 9 for the revisit. *)
+  for b = 0 to 9 do
+    Obs.Profile.Reuse.on_access r false (b * 64)
+  done;
+  Obs.Profile.Reuse.on_access r false 0;
+  Alcotest.(check int) "distinct" 10 (Obs.Profile.Reuse.distinct_blocks r);
+  Alcotest.(check (list (pair int int))) "one finite distance" [ (9, 1) ]
+    (Obs.Profile.Reuse.histogram r);
+  Alcotest.(check (list (triple int int int))) "binned into [8,15]"
+    [ (8, 15, 1) ]
+    (Obs.Profile.Reuse.binned r)
+
+(* ------------------------------------------------------------------ *)
+(* Spatial and occupancy profilers                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_spatial () =
+  let s = Obs.Profile.Spatial.create ~block_bytes:32 () in
+  (* Block 0: words 0 and 1 (word 1 twice); block 1: word 7. *)
+  Obs.Profile.Spatial.on_access s false 0;
+  Obs.Profile.Spatial.on_access s true 4;
+  Obs.Profile.Spatial.on_access s false 6;
+  Obs.Profile.Spatial.on_access s false (32 + 28);
+  Alcotest.(check int) "blocks touched" 2 (Obs.Profile.Spatial.blocks_touched s);
+  Alcotest.(check (float 1e-9)) "avg words" 1.5
+    (Obs.Profile.Spatial.avg_words_touched s);
+  Alcotest.(check (float 1e-9)) "utilization" (1.5 /. 8.)
+    (Obs.Profile.Spatial.utilization s);
+  Alcotest.(check (float 1e-9)) "measured K for 6-byte elems" 1.0
+    (Obs.Profile.Spatial.measured_k s ~elem_bytes:6);
+  Alcotest.(check (list (pair int int))) "words histogram" [ (1, 1); (2, 1) ]
+    (Obs.Profile.Spatial.words_histogram s)
+
+let test_occupancy () =
+  let cfg =
+    Memsim.Cache_config.v ~name:"t" ~sets:8 ~assoc:1 ~block_bytes:16 ()
+  in
+  let o = Obs.Profile.Occupancy.create ~hot_first_set:0 ~hot_sets:4 cfg in
+  (* Sets cycle every 8 blocks of 16 bytes. *)
+  Obs.Profile.Occupancy.on_access o false 0 (* set 0, hot *);
+  Obs.Profile.Occupancy.on_access o false 16 (* set 1, hot *);
+  Obs.Profile.Occupancy.on_access o false (16 * 6) (* set 6, cold *);
+  Obs.Profile.Occupancy.on_access o true (16 * 8) (* wraps to set 0, hot *);
+  Alcotest.(check int) "accesses" 4 (Obs.Profile.Occupancy.accesses o);
+  Alcotest.(check int) "hot accesses" 3 (Obs.Profile.Occupancy.hot_accesses o);
+  Alcotest.(check (float 1e-9)) "hot share" 0.75
+    (Obs.Profile.Occupancy.hot_share o);
+  Alcotest.(check (list int)) "set counts"
+    [ 2; 1; 0; 0; 0; 0; 1; 0 ]
+    (Array.to_list (Obs.Profile.Occupancy.set_counts o))
+
+let test_profiler_nonperturbing () =
+  (* Attaching the profiler must not change simulation results. *)
+  let run attach =
+    let m = Machine.create (Config.tiny ()) in
+    let sub =
+      if attach then Some (Obs.Profile.attach (Obs.Profile.for_machine m) m)
+      else None
+    in
+    let base = Machine.reserve m ~bytes:8192 ~align:64 in
+    let rng = Workload.Rng.create 3 in
+    for _ = 1 to 2000 do
+      let a = base + (4 * Workload.Rng.int rng 2048) in
+      if Workload.Rng.int rng 4 = 0 then Machine.store32 m a 1
+      else ignore (Machine.load32 m a)
+    done;
+    Option.iter (Machine.unsubscribe m) sub;
+    let h = Hierarchy.stats (Machine.hierarchy m) in
+    ( Machine.cycles m,
+      Cache.misses h.Hierarchy.h_l1,
+      Cache.misses h.Hierarchy.h_l2 )
+  in
+  Alcotest.(check (triple int int int))
+    "cycles and misses identical" (run false) (run true)
+
+(* ------------------------------------------------------------------ *)
+(* Trace capture/replay against the live machine                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_replay_matches_live () =
+  (* A load32/store32-only workload (single-block accesses, no TLB, no
+     prefetching) recorded from a live machine must replay to exactly
+     the live hierarchy's miss counts. *)
+  let cfg = Config.tiny () in
+  let m = Machine.create cfg in
+  let tr = Memsim.Trace.create () in
+  Machine.set_tracer m
+    (Some
+       (fun write a ->
+         Memsim.Trace.record tr
+           (if write then Memsim.Trace.Store else Memsim.Trace.Load)
+           a));
+  let base = Machine.reserve m ~bytes:65536 ~align:64 in
+  let rng = Workload.Rng.create 7 in
+  for _ = 1 to 5000 do
+    let a = base + (4 * Workload.Rng.int rng 16384) in
+    if Workload.Rng.int rng 3 = 0 then Machine.store32 m a 42
+    else ignore (Machine.load32 m a)
+  done;
+  Machine.set_tracer m None;
+  let h = Hierarchy.stats (Machine.hierarchy m) in
+  let live_l1 = Cache.misses h.Hierarchy.h_l1 in
+  let live_l2 = Cache.misses h.Hierarchy.h_l2 in
+  let r =
+    Memsim.Trace.replay tr ~l1:cfg.Config.l1 ~l2:cfg.Config.l2
+      ~latencies:cfg.Config.latencies
+  in
+  Alcotest.(check int) "trace length" 5000 (Memsim.Trace.length tr);
+  Alcotest.(check int) "replay accesses" 5000 r.Memsim.Trace.accesses;
+  Alcotest.(check int) "L1 misses match live run" live_l1
+    r.Memsim.Trace.l1_misses;
+  Alcotest.(check int) "L2 misses match live run" live_l2
+    r.Memsim.Trace.l2_misses;
+  Alcotest.(check int) "replay cycles match live machine" (Machine.cycles m)
+    r.Memsim.Trace.cycles
+
+(* ------------------------------------------------------------------ *)
+(* Stats snapshots and their JSON forms                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_hierarchy_stats_snapshot () =
+  let m = Machine.create (Config.tiny ()) in
+  let base = Machine.reserve m ~bytes:4096 ~align:64 in
+  ignore (Machine.load32 m base);
+  let h = Machine.hierarchy m in
+  let s = Hierarchy.stats h in
+  let l1_misses_before = Cache.misses s.Hierarchy.h_l1 in
+  ignore (Machine.load32 m (base + 2048));
+  (* The snapshot must not alias the live counters. *)
+  Alcotest.(check int) "snapshot is stable" l1_misses_before
+    (Cache.misses s.Hierarchy.h_l1);
+  let j = Obs.Export.hierarchy_stats (Hierarchy.stats h) in
+  let field l1_or_l2 name =
+    Option.bind (J.member l1_or_l2 j) (fun o ->
+        Option.bind (J.member name o) J.to_int)
+  in
+  Alcotest.(check (option int)) "l1 reads exported" (Some 2)
+    (field "l1" "reads");
+  Alcotest.(check bool) "l2 writebacks exported" true
+    (field "l2" "writebacks" <> None);
+  Alcotest.(check bool) "prefetch counters exported" true
+    (Option.bind (J.member "hw_prefetches" j) J.to_int <> None)
+
+let test_tlb_stats () =
+  let m = Machine.create (Config.rsim_table1 ~tlb:true ()) in
+  let base = Machine.reserve m ~bytes:(1 lsl 16) ~align:8192 in
+  ignore (Machine.load32 m base);
+  ignore (Machine.load32 m (base + 8192));
+  ignore (Machine.load32 m base);
+  match (Hierarchy.stats (Machine.hierarchy m)).Hierarchy.h_tlb with
+  | None -> Alcotest.fail "TLB stats missing on a TLB-enabled machine"
+  | Some t ->
+      Alcotest.(check int) "hits" 1 t.Memsim.Tlb.t_hits;
+      Alcotest.(check int) "misses" 2 t.Memsim.Tlb.t_misses;
+      let j = Obs.Export.tlb_stats t in
+      Alcotest.(check (option int)) "tlb json misses" (Some 2)
+        (Option.bind (J.member "misses" j) J.to_int)
+
+(* ------------------------------------------------------------------ *)
+(* The profile pipeline's acceptance cross-check                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_profile_cross_check () =
+  (* ISSUE acceptance: on treeadd, the reuse-distance histogram's
+     implied miss rate at the L2's capacity must sit within one point
+     of the simulated L2's misses per reference. *)
+  match Harness.Profiles.run "treeadd" with
+  | None -> Alcotest.fail "treeadd profile missing"
+  | Some r ->
+      Alcotest.(check bool) "traced the whole run" true
+        (r.Harness.Profiles.traced_accesses > 0);
+      let diff =
+        abs_float
+          (r.Harness.Profiles.implied_l2_miss_rate
+          -. r.Harness.Profiles.simulated_l2_miss_rate)
+      in
+      if diff > 0.01 then
+        Alcotest.failf "implied %.4f vs simulated %.4f: |diff| %.4f > 0.01"
+          r.Harness.Profiles.implied_l2_miss_rate
+          r.Harness.Profiles.simulated_l2_miss_rate diff
+
+let test_profile_json () =
+  match Harness.Profiles.run "perimeter" with
+  | None -> Alcotest.fail "perimeter profile missing"
+  | Some r -> (
+      let env =
+        Obs.Export.envelope ~experiment:"profile-perimeter" ~scale:"quick"
+          (Harness.Profiles.to_json r)
+      in
+      match J.of_string (J.to_string env) with
+      | Error e -> Alcotest.failf "profile JSON does not parse: %s" e
+      | Ok env' ->
+          (match Obs.Export.validate_envelope env' with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "profile envelope invalid: %s" e);
+          let reuse_accesses =
+            Option.bind (J.member "data" env') (fun d ->
+                Option.bind (J.member "profile" d) (fun p ->
+                    Option.bind (J.member "reuse" p) (fun r ->
+                        Option.bind (J.member "accesses" r) J.to_int)))
+          in
+          Alcotest.(check (option int)) "reuse accesses serialized"
+            (Some r.Harness.Profiles.traced_accesses)
+            reuse_accesses)
+
+let tests =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "json floats" `Quick test_json_floats;
+        Alcotest.test_case "json accessors" `Quick test_json_accessors;
+        QCheck_alcotest.to_alcotest prop_json_roundtrip;
+        Alcotest.test_case "export envelope" `Quick test_envelope;
+        Alcotest.test_case "metrics counters" `Quick test_metrics_counters;
+        Alcotest.test_case "metrics gauge and histogram" `Quick
+          test_metrics_gauge_histogram;
+        Alcotest.test_case "metrics disabled and json" `Quick
+          test_metrics_disabled_and_json;
+        Alcotest.test_case "spans" `Quick test_spans;
+        Alcotest.test_case "reuse vs LRU-stack oracle" `Quick
+          test_reuse_oracle_small;
+        Alcotest.test_case "reuse oracle across Fenwick growth" `Quick
+          test_reuse_oracle_growth;
+        Alcotest.test_case "reuse binning" `Quick test_reuse_binned;
+        Alcotest.test_case "spatial utilization" `Quick test_spatial;
+        Alcotest.test_case "set occupancy" `Quick test_occupancy;
+        Alcotest.test_case "profilers do not perturb the simulation" `Quick
+          test_profiler_nonperturbing;
+        Alcotest.test_case "trace replay matches live machine" `Quick
+          test_trace_replay_matches_live;
+        Alcotest.test_case "hierarchy stats snapshot and json" `Quick
+          test_hierarchy_stats_snapshot;
+        Alcotest.test_case "tlb stats" `Quick test_tlb_stats;
+        Alcotest.test_case "profile cross-check within one point" `Quick
+          test_profile_cross_check;
+        Alcotest.test_case "profile json export" `Quick test_profile_json;
+      ] );
+  ]
