@@ -206,6 +206,62 @@ let profile_cmd =
       $ json_term)
 
 (* ------------------------------------------------------------------ *)
+(* lint subcommand                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_lint bench paper seed fail_on json_file =
+  let scale = scale_of paper in
+  let fail_on =
+    match Analyze.Diag.severity_of_name fail_on with
+    | Some s -> s
+    | None ->
+        Format.eprintf "unknown severity %S (expected error, warn or info)@."
+          fail_on;
+        exit 2
+  in
+  match Harness.Lint.run ~scale ?seed bench with
+  | None ->
+      Format.eprintf "unknown benchmark %S (expected %s)@." bench
+        (String.concat ", " Harness.Lint.names);
+      exit 2
+  | Some report ->
+      Format.printf "%a@." Harness.Lint.pp report;
+      (match json_file with
+      | None -> ()
+      | Some file ->
+          Obs.Export.write_file file (Harness.Lint.to_json report);
+          Format.printf "wrote %s@." file);
+      exit (Analyze.Diag.exit_code ~fail_on report.Harness.Lint.diags)
+
+let lint_cmd =
+  let bench_term =
+    let doc =
+      "Benchmark to lint: $(b,treeadd), $(b,health), $(b,mst) or \
+       $(b,perimeter)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let fail_on_term =
+    let doc =
+      "Exit nonzero when any diagnostic is at least this severe: \
+       $(b,error) (default), $(b,warn) or $(b,info)."
+    in
+    Arg.(value & opt string "error" & info [ "fail-on" ] ~docv:"SEV" ~doc)
+  in
+  let doc =
+    "Run the cclint layout analysis over one Olden benchmark: the \
+     placement sanitizer (shadow-heap bounds, ccmorph block packing, \
+     coloring ranges, allocator counter identity), the hint-quality \
+     lint, and the field-hotness advisor.  Exits nonzero if any \
+     diagnostic reaches the $(b,--fail-on) severity."
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(
+      const run_lint $ bench_term $ scale_term $ seed_term $ fail_on_term
+      $ json_term)
+
+(* ------------------------------------------------------------------ *)
 
 let cmd =
   let doc =
@@ -225,7 +281,7 @@ let cmd =
   in
   Cmd.group ~default:run_term
     (Cmd.info "ccsl-cli" ~version:"1.0.0" ~doc ~man)
-    (profile_cmd
+    (profile_cmd :: lint_cmd
     :: List.map experiment_cmd
          (Harness.Experiments.names @ [ "ablations"; "all" ]))
 

@@ -7,7 +7,7 @@ type stats = {
 
 type t = {
   name : string;
-  alloc : ?hint:Memsim.Addr.t -> int -> Memsim.Addr.t;
+  alloc : ?hint:Memsim.Addr.t -> ?site:string -> int -> Memsim.Addr.t;
   free : Memsim.Addr.t -> unit;
   owns : Memsim.Addr.t -> bool;
   stats : unit -> stats;

@@ -16,10 +16,13 @@ type stats = {
 
 type t = {
   name : string;
-  alloc : ?hint:Memsim.Addr.t -> int -> Memsim.Addr.t;
-      (** [alloc ?hint bytes] returns the address of a fresh, zeroed,
-          4-byte-aligned region of [bytes] bytes.
-          @raise Invalid_argument if [bytes <= 0]. *)
+  alloc : ?hint:Memsim.Addr.t -> ?site:string -> int -> Memsim.Addr.t;
+      (** [alloc ?hint ?site bytes] returns the address of a fresh,
+          zeroed, 4-byte-aligned region of [bytes] bytes.  [site] is a
+          stable label for the allocation site (e.g. ["treeadd.node"]);
+          allocators themselves ignore it, but diagnostic wrappers such
+          as the [cclint] shadow heap aggregate per-site statistics from
+          it.  @raise Invalid_argument if [bytes <= 0]. *)
   free : Memsim.Addr.t -> unit;
       (** Return a region to the allocator.  Arena-style allocators treat
           this as a no-op. *)

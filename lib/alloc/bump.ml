@@ -43,7 +43,7 @@ let used_bytes t = t.bytes_reserved
 let allocator t =
   {
     Allocator.name = t.name;
-    alloc = (fun ?hint bytes -> ignore hint; alloc t bytes);
+    alloc = (fun ?hint ?site bytes -> ignore hint; ignore site; alloc t bytes);
     free = (fun _ -> ());
     owns = (fun _ -> false);
     stats =

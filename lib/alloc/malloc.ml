@@ -118,7 +118,7 @@ let check_invariants t =
 let allocator t =
   {
     Allocator.name = "malloc";
-    alloc = (fun ?hint bytes -> ignore hint; alloc t bytes);
+    alloc = (fun ?hint ?site bytes -> ignore hint; ignore site; alloc t bytes);
     free = (fun a -> free t a);
     owns = (fun a -> Hashtbl.mem t.live a);
     stats =

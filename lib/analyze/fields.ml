@@ -1,0 +1,120 @@
+type record = {
+  elem_bytes : int;
+  words : int array;  (* access count per 4-byte word *)
+  mutable total : int;
+}
+
+type t = { structs : (string, record) Hashtbl.t }
+
+let create () = { structs = Hashtbl.create 8 }
+
+let note_struct t ~struct_id ~elem_bytes =
+  match Hashtbl.find_opt t.structs struct_id with
+  | Some r when r.elem_bytes = elem_bytes -> ()
+  | _ ->
+      Hashtbl.replace t.structs struct_id
+        { elem_bytes; words = Array.make ((elem_bytes + 3) / 4) 0; total = 0 }
+
+let on_access t ~struct_id ~offset =
+  match Hashtbl.find_opt t.structs struct_id with
+  | Some r when offset >= 0 && offset < r.elem_bytes ->
+      let w = offset / 4 in
+      r.words.(w) <- r.words.(w) + 1;
+      r.total <- r.total + 1
+  | _ -> ()
+
+let min_traffic = 128
+let hot_frac = 0.25
+
+let diags t ~block_bytes =
+  Hashtbl.fold
+    (fun struct_id r acc ->
+      if r.total < min_traffic then acc
+      else begin
+        let n_words = Array.length r.words in
+        let max_count = Array.fold_left max 0 r.words in
+        let threshold =
+          max 1 (int_of_float (ceil (hot_frac *. float_of_int max_count)))
+        in
+        let hot = Array.map (fun c -> c >= threshold) r.words in
+        let n_hot = Array.fold_left (fun n h -> if h then n + 1 else n) 0 hot in
+        let dead = ref [] in
+        Array.iteri (fun i c -> if c = 0 then dead := i :: !dead) r.words;
+        let dead = List.rev !dead in
+        let acc =
+          match dead with
+          | [] -> acc
+          | _ ->
+              let bytes = 4 * List.length dead in
+              Diag.v ~rule:"fields/dead-bytes" Diag.Info
+                ~subject:(Diag.Structure struct_id)
+                ~evidence:
+                  [
+                    ("dead_bytes", float_of_int bytes);
+                    ("elem_bytes", float_of_int r.elem_bytes);
+                    ("attributed_accesses", float_of_int r.total);
+                  ]
+                (Printf.sprintf
+                   "%d of %d element bytes (word offsets %s) were never \
+                    accessed; dead weight in every cache block the structure \
+                    occupies"
+                   bytes r.elem_bytes
+                   (String.concat ", "
+                      (List.map (fun i -> string_of_int (4 * i)) dead)))
+              :: acc
+        in
+        (* hot footprint: bytes needed to cover the hot words if packed *)
+        let hot_bytes = 4 * n_hot in
+        let acc =
+          if
+            n_hot > 0 && hot_bytes < r.elem_bytes
+            && block_bytes / hot_bytes > block_bytes / r.elem_bytes
+          then
+            Diag.v ~rule:"fields/hot-cold-split" Diag.Info
+              ~subject:(Diag.Structure struct_id)
+              ~evidence:
+                [
+                  ("hot_bytes", float_of_int hot_bytes);
+                  ("elem_bytes", float_of_int r.elem_bytes);
+                  ("elems_per_block_now",
+                   float_of_int (block_bytes / r.elem_bytes));
+                  ("elems_per_block_split",
+                   float_of_int (block_bytes / hot_bytes));
+                ]
+              (Printf.sprintf
+                 "hot fields fit in %d of %d bytes: splitting into a hot \
+                  core would pack %d instead of %d elements per %d-byte \
+                  block"
+                 hot_bytes r.elem_bytes (block_bytes / hot_bytes)
+                 (block_bytes / r.elem_bytes) block_bytes)
+            :: acc
+          else acc
+        in
+        (* contiguity of the hot words *)
+        let first_hot = ref (-1) and last_hot = ref (-1) in
+        Array.iteri
+          (fun i h ->
+            if h then begin
+              if !first_hot < 0 then first_hot := i;
+              last_hot := i
+            end)
+          hot;
+        if n_hot > 0 && !last_hot - !first_hot + 1 > n_hot then
+          Diag.v ~rule:"fields/reorder" Diag.Info
+            ~subject:(Diag.Structure struct_id)
+            ~evidence:
+              [
+                ("hot_words", float_of_int n_hot);
+                ("hot_span_words", float_of_int (!last_hot - !first_hot + 1));
+                ("elem_words", float_of_int n_words);
+              ]
+            (Printf.sprintf
+               "the %d hot word(s) span %d words of the element; reordering \
+                fields to make the hot set contiguous would shrink the hot \
+                footprint"
+               n_hot
+               (!last_hot - !first_hot + 1))
+          :: acc
+        else acc
+      end)
+    t.structs []

@@ -1,0 +1,37 @@
+(** Field-hotness and structure-splitting advisor (paper Section 6).
+
+    For every morphed structure the sanitizer knows about, count timed
+    accesses per 4-byte word of the element layout.  At end of run,
+    classify words as hot (≥ 25% of the hottest word's count) or cold and
+    recommend, per rule id:
+
+    - [fields/dead-bytes] (Info): words never touched during the run —
+      candidates for removal or for packing other data into.
+    - [fields/hot-cold-split] (Info): the hot words fit in a strictly
+      smaller footprint than the whole element, so splitting the element
+      into a hot core plus a cold satellite record would pack more
+      elements per cache block (the paper's proposed follow-on to
+      clustering).
+    - [fields/reorder] (Info): the hot words are not contiguous;
+      reordering fields to group them would let a hot-cold split (or a
+      smaller prefetch) cover them with fewer bytes.
+
+    All three are advisory — they never gate a lint run. *)
+
+type t
+
+val create : unit -> t
+
+val note_struct : t -> struct_id:string -> elem_bytes:int -> unit
+(** Declare (or re-declare, after a re-morph) a structure's element
+    size.  Accumulated counts survive re-declaration with an unchanged
+    [elem_bytes]. *)
+
+val on_access : t -> struct_id:string -> offset:int -> unit
+(** One timed access at byte [offset] within some element of
+    [struct_id].  Unknown structure ids and out-of-range offsets are
+    ignored. *)
+
+val diags : t -> block_bytes:int -> Diag.t list
+(** Recommendations for every structure with enough traffic to judge
+    (at least 128 attributed accesses). *)

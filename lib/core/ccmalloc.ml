@@ -328,6 +328,9 @@ let free t payload =
             t.reuse <- (p, b) :: t.reuse
           end)
 
+let manages t addr =
+  Hashtbl.mem t.pages (A.page_index addr ~page_bytes:(page_bytes t))
+
 let pages_opened t = t.pages_opened + t.span_pages
 let blocks_opened t = t.blocks_opened
 
@@ -382,7 +385,7 @@ let pp_counters ppf c =
 let allocator t =
   {
     Alloc.Allocator.name = "ccmalloc-" ^ strategy_name t.strategy;
-    alloc = (fun ?hint bytes -> alloc t ?hint bytes);
+    alloc = (fun ?hint ?site bytes -> ignore site; alloc t ?hint bytes);
     free = (fun a -> free t a);
     owns = (fun a -> Hashtbl.mem t.live a);
     stats =

@@ -50,6 +50,13 @@ val free : t -> Memsim.Addr.t -> unit
 
 val allocator : t -> Alloc.Allocator.t
 
+val manages : t -> Memsim.Addr.t -> bool
+(** Does [addr] fall on a ccmalloc-managed page?  This is exactly the
+    membership test [alloc] applies to incoming hints (a hint outside a
+    managed page is counted in [c_hint_unmanaged] and treated as none);
+    span pages are not managed.  Diagnostic tools use it to scope
+    shadow-heap checks to memory this allocator disciplines. *)
+
 val pages_opened : t -> int
 val blocks_opened : t -> int
 (** Number of distinct cache blocks that have received at least one

@@ -300,8 +300,43 @@ let do_morph params m desc roots =
     }
   end
 
+type observation = {
+  obs_machine : Memsim.Machine.t;
+  obs_desc : desc;
+  obs_params : params;
+  obs_result : result;
+}
+
+type observer_id = int
+
+let observers : (observer_id * (observation -> unit)) list ref = ref []
+let next_observer = ref 0
+
+let add_observer f =
+  let id = !next_observer in
+  incr next_observer;
+  observers := !observers @ [ (id, f) ];
+  id
+
+let remove_observer id =
+  observers := List.filter (fun (i, _) -> i <> id) !observers
+
+let observed params m desc result =
+  if result.nodes > 0 then
+    List.iter
+      (fun (_, f) ->
+        f
+          {
+            obs_machine = m;
+            obs_desc = desc;
+            obs_params = params;
+            obs_result = result;
+          })
+      !observers;
+  result
+
 let morph ?(params = default_params) m desc ~root =
-  do_morph params m desc [| root |]
+  observed params m desc (do_morph params m desc [| root |])
 
 let morph_forest ?(params = default_params) m desc ~roots =
-  do_morph params m desc roots
+  observed params m desc (do_morph params m desc roots)

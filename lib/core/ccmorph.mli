@@ -79,3 +79,27 @@ val morph_forest :
 (** Reorganize several disjoint structures (e.g. every chain of a hash
     table) into one shared layout, so short chains pack together.  Null
     roots are preserved as null in [new_roots]. *)
+
+(** {1 Morph observations}
+
+    Diagnostic passes (the [cclint] placement sanitizer and field-hotness
+    advisor) need to see every reorganization a program performs — which
+    machine it ran on, with which description and parameters, and what
+    layout came out — without the benchmark kernels knowing they are
+    being watched.  Observers are called after each successful
+    non-empty [morph]/[morph_forest]; they must not morph structures
+    themselves. *)
+
+type observation = {
+  obs_machine : Memsim.Machine.t;
+  obs_desc : desc;
+  obs_params : params;
+  obs_result : result;
+}
+
+type observer_id
+
+val add_observer : (observation -> unit) -> observer_id
+(** Register an observer; observers run in registration order. *)
+
+val remove_observer : observer_id -> unit

@@ -61,7 +61,10 @@ let drop_hints (a : Alloc.Allocator.t) =
   {
     a with
     Alloc.Allocator.name = a.Alloc.Allocator.name ^ "-null-hint";
-    alloc = (fun ?hint bytes -> ignore hint; a.Alloc.Allocator.alloc bytes);
+    alloc =
+      (fun ?hint ?site bytes ->
+        ignore hint;
+        a.Alloc.Allocator.alloc ?site bytes);
   }
 
 let make_ctx ?config placement =

@@ -61,7 +61,9 @@ let new_patient (ctx : Common.ctx) v =
   (* patients are hinted to the tail of the waiting list they join, the
      same co-location the list element itself gets in addList *)
   let m = ctx.Common.machine in
-  let pat = ctx.Common.alloc.Alloc.Allocator.alloc patient_bytes in
+  let pat =
+    ctx.Common.alloc.Alloc.Allocator.alloc ~site:"health.patient" patient_bytes
+  in
   Machine.store32 m (pat + off_visited) 1;
   Machine.store32 m (pat + off_total) 0;
   Machine.store32 m (pat + off_left_t) 0;

@@ -21,8 +21,11 @@ let rec build (ctx : Common.ctx) level parent_hint =
   else begin
     let m = ctx.machine in
     let node =
-      if A.is_null parent_hint then ctx.alloc.Alloc.Allocator.alloc node_bytes
-      else ctx.alloc.Alloc.Allocator.alloc ~hint:parent_hint node_bytes
+      if A.is_null parent_hint then
+        ctx.alloc.Alloc.Allocator.alloc ~site:"treeadd.node" node_bytes
+      else
+        ctx.alloc.Alloc.Allocator.alloc ~hint:parent_hint ~site:"treeadd.node"
+          node_bytes
     in
     Machine.store32 m (node + off_value) 1;
     let l = build ctx (level - 1) node in

@@ -47,7 +47,7 @@ let create ?alloc ?(unique_bits = 14) ?(cache_bits = 12) ~nvars m =
   (* Terminals are ordinary heap nodes so pointer comparisons and loads
      behave uniformly. *)
   let mk_terminal () =
-    let a = alloc.Alloc.Allocator.alloc node_bytes in
+    let a = alloc.Alloc.Allocator.alloc ~site:"bdd.terminal" node_bytes in
     Machine.ustore32 m (a + off_var) terminal_var;
     Machine.ustore32 m (a + off_low) 0;
     Machine.ustore32 m (a + off_high) 0;
@@ -109,8 +109,9 @@ let mk t ~var ~low ~high =
           else A.null
         in
         let a =
-          if A.is_null hint then t.alloc.Alloc.Allocator.alloc node_bytes
-          else t.alloc.Alloc.Allocator.alloc ~hint node_bytes
+          if A.is_null hint then
+            t.alloc.Alloc.Allocator.alloc ~site:"bdd.node" node_bytes
+          else t.alloc.Alloc.Allocator.alloc ~hint ~site:"bdd.node" node_bytes
         in
         Machine.store32 m (a + off_var) var;
         Machine.store_ptr m (a + off_low) low;

@@ -121,7 +121,8 @@ let build ?(elem_bytes = default_elem_bytes) ?alloc m layout ~keys =
   in
   let alloc =
     match alloc with
-    | Some a -> fun () -> a.Alloc.Allocator.alloc ?hint:None elem_bytes
+    | Some a ->
+        fun () -> a.Alloc.Allocator.alloc ?hint:None ~site:"bst.node" elem_bytes
     | None ->
         let bump = Alloc.Bump.create ~name:"bst" m in
         fun () -> Alloc.Bump.alloc bump elem_bytes
@@ -168,7 +169,9 @@ let insert t ?alloc key =
   let m = t.m in
   let alloc =
     match alloc with
-    | Some a -> fun () -> a.Alloc.Allocator.alloc ?hint:None t.elem_bytes
+    | Some a ->
+        fun () ->
+          a.Alloc.Allocator.alloc ?hint:None ~site:"bst.node" t.elem_bytes
     | None -> fun () -> Machine.reserve m ~bytes:t.elem_bytes ~align:4
   in
   let fresh () =

@@ -36,7 +36,10 @@ let insert t ~key ~value =
   let rec walk prev cur =
     if A.is_null cur then begin
       let hint = if A.is_null prev then cell else prev in
-      let node = t.alloc.Alloc.Allocator.alloc ~hint entry_bytes in
+      let node =
+        t.alloc.Alloc.Allocator.alloc ~hint ~site:"hash_chain.entry"
+          entry_bytes
+      in
       Machine.store_ptr m (node + off_next) A.null;
       Machine.store32 m (node + off_key) key;
       Machine.store32 m (node + off_value) value;

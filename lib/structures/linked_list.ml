@@ -25,10 +25,12 @@ let create ?(elem_bytes = 12) m ~alloc =
   if elem_bytes < 12 then invalid_arg "Linked_list.create: elem_bytes < 12";
   { m; alloc; elem_bytes; head = A.null; length = 0 }
 
+let site = "linked_list.cell"
+
 let new_node t ~hint payload =
   let node =
-    if A.is_null hint then t.alloc.Alloc.Allocator.alloc t.elem_bytes
-    else t.alloc.Alloc.Allocator.alloc ~hint t.elem_bytes
+    if A.is_null hint then t.alloc.Alloc.Allocator.alloc ~site t.elem_bytes
+    else t.alloc.Alloc.Allocator.alloc ~hint ~site t.elem_bytes
   in
   Machine.store32 t.m (node + off_data) payload;
   node

@@ -27,8 +27,9 @@ let build ?(hint_parent = false) m ~alloc ~size ~oracle =
   let alloc_block parent =
     let hint = if hint_parent && not (A.is_null parent) then parent else A.null in
     let a =
-      if A.is_null hint then alloc.Alloc.Allocator.alloc elem_bytes
-      else alloc.Alloc.Allocator.alloc ~hint elem_bytes
+      if A.is_null hint then
+        alloc.Alloc.Allocator.alloc ~site:"octree.block" elem_bytes
+      else alloc.Alloc.Allocator.alloc ~hint ~site:"octree.block" elem_bytes
     in
     t.blocks <- t.blocks + 1;
     a

@@ -35,8 +35,9 @@ let build ?(hint_parent = false) m ~alloc ~size ~oracle =
   let t = { m; root = A.null; size; nodes = 0 } in
   let alloc_node parent =
     let hint = if hint_parent && not (A.is_null parent) then parent else A.null in
-    if A.is_null hint then alloc.Alloc.Allocator.alloc elem_bytes
-    else alloc.Alloc.Allocator.alloc ~hint elem_bytes
+    if A.is_null hint then
+      alloc.Alloc.Allocator.alloc ~site:"quadtree.node" elem_bytes
+    else alloc.Alloc.Allocator.alloc ~hint ~site:"quadtree.node" elem_bytes
   in
   (* Preorder construction, the Olden allocation order. *)
   let rec make ~x ~y ~size ~parent ~childtype =

@@ -152,6 +152,51 @@ let prop_all_allocations_disjoint =
       in
       pairs !live)
 
+(* The documented accounting identity, checked through the same code the
+   cclint counter-identity rule uses: every hinted allocation must be
+   accounted for as either a same-page strategy placement or a fallback,
+   under every strategy and any interleaving of hinted, unhinted,
+   foreign-hinted allocations and frees. *)
+let prop_counter_identity =
+  QCheck.Test.make ~count:100
+    ~name:"ccmalloc counter identity holds under all strategies"
+    QCheck.(
+      pair (int_bound 2)
+        (list_of_size (Gen.int_range 1 200) (pair (int_bound 3) (int_range 1 80))))
+    (fun (strat, plan) ->
+      let strategy =
+        match strat with
+        | 0 -> Ccmalloc.Closest
+        | 1 -> Ccmalloc.New_block
+        | _ -> Ccmalloc.First_fit
+      in
+      let m, t = mk strategy in
+      (* an address ccmalloc does not manage, for foreign hints *)
+      let foreign = Machine.reserve m ~bytes:64 ~align:64 in
+      let last = ref A.null in
+      let live = ref [] in
+      List.iter
+        (fun (kind, sz) ->
+          match kind with
+          | 0 -> last := Ccmalloc.alloc t sz
+          | 1 ->
+              last :=
+                if A.is_null !last then Ccmalloc.alloc t sz
+                else Ccmalloc.alloc t ~hint:!last sz;
+              live := !last :: !live
+          | 2 -> last := Ccmalloc.alloc t ~hint:foreign sz
+          | _ -> (
+              match !live with
+              | [] -> ()
+              | a :: rest ->
+                  Ccmalloc.free t a;
+                  live := rest))
+        plan;
+      let c = Ccmalloc.counters t in
+      Analyze.Shadow.check_counters c = []
+      && c.Ccmalloc.c_hinted
+         = c.Ccmalloc.c_hinted_same_page + c.Ccmalloc.c_strategy_fallbacks)
+
 let tests =
   [
     ( "ccmalloc",
@@ -175,5 +220,6 @@ let tests =
           test_span_objects;
         Alcotest.test_case "LIFO free" `Quick test_free_lifo;
         QCheck_alcotest.to_alcotest prop_all_allocations_disjoint;
+        QCheck_alcotest.to_alcotest prop_counter_identity;
       ] );
   ]

@@ -176,7 +176,38 @@ let test_null_and_errors () =
       ignore
         (Ccmorph.morph m
            (Ccmorph.plain_desc ~elem_bytes:12 ~kid_offsets:[| 4 |])
-           ~root:a))
+           ~root:a));
+  (* an acyclic DAG is just as ill-formed: a diamond reaches one element
+     twice, which would duplicate it in the copy *)
+  let top = Alloc.Bump.alloc bump 12
+  and l = Alloc.Bump.alloc bump 12
+  and r = Alloc.Bump.alloc bump 12
+  and shared = Alloc.Bump.alloc bump 12 in
+  Machine.ustore32 m (top + 4) l;
+  Machine.ustore32 m (top + 8) r;
+  Machine.ustore32 m (l + 4) shared;
+  Machine.ustore32 m (r + 4) shared;
+  Alcotest.check_raises "diamond rejected"
+    (Invalid_argument "Ccmorph: structure is not tree-shaped") (fun () ->
+      ignore
+        (Ccmorph.morph m
+           (Ccmorph.plain_desc ~elem_bytes:12 ~kid_offsets:[| 4; 8 |])
+           ~root:top));
+  (* an element exactly one block wide is the legal maximum *)
+  let bb = Machine.l2_block_bytes m in
+  let big = Alloc.Bump.alloc bump bb in
+  let r =
+    Ccmorph.morph m
+      (Ccmorph.plain_desc ~elem_bytes:bb ~kid_offsets:[| 4 |])
+      ~root:big
+  in
+  Alcotest.(check int) "block-sized element morphs" 1 r.Ccmorph.nodes;
+  Alcotest.check_raises "element one byte over the block size"
+    (Invalid_argument "Ccmorph: element larger than an L2 block") (fun () ->
+      ignore
+        (Ccmorph.morph m
+           (Ccmorph.plain_desc ~elem_bytes:(bb + 1) ~kid_offsets:[| 4 |])
+           ~root:big))
 
 let test_color_first_set () =
   let m = mk () in
