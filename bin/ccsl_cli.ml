@@ -206,6 +206,60 @@ let profile_cmd =
       $ json_term)
 
 (* ------------------------------------------------------------------ *)
+(* run subcommand (adaptive placement ablation)                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_adaptive bench adapt seed json_file =
+  match Harness.Adaptive.run ?seed ~adapt bench with
+  | None ->
+      Format.eprintf "unknown benchmark %S (expected %s)@." bench
+        (String.concat ", " Harness.Adaptive.names);
+      exit 2
+  | Some report ->
+      Format.printf "%a@." Harness.Adaptive.pp report;
+      (match json_file with
+      | None -> ()
+      | Some file ->
+          let extra =
+            match Harness.Adaptive.recommendation_json report with
+            | Some j -> [ ("recommended_params", j) ]
+            | None -> []
+          in
+          Obs.Export.write_file file
+            (Obs.Export.envelope
+               ~experiment:("run-" ^ bench)
+               ?seed ~extra
+               (Harness.Adaptive.to_json report));
+          Format.printf "wrote %s@." file)
+
+let run_cmd =
+  let bench_term =
+    let doc =
+      "Benchmark to run: $(b,treeadd), $(b,health), $(b,mst) or \
+       $(b,perimeter)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let adapt_term =
+    let doc =
+      "Add the adaptive arm: ccmalloc wrapped by the online hint advisor, \
+       reorganization gated by the miss-rate policy, morph parameters \
+       chosen by the autotuner.  Without this flag only the base and \
+       static ccmorph arms run."
+    in
+    Arg.(value & flag & info [ "adapt" ] ~doc)
+  in
+  let doc =
+    "Run one Olden benchmark whole-program under the placement arms: \
+     no-placement base, the static Figure 7 ccmorph arm, and (with \
+     $(b,--adapt)) the profile-guided adaptive arm.  JSON export \
+     includes the autotuner's $(b,recommended_params) section."
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(const run_adaptive $ bench_term $ adapt_term $ seed_term $ json_term)
+
+(* ------------------------------------------------------------------ *)
 (* lint subcommand                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -281,7 +335,7 @@ let cmd =
   in
   Cmd.group ~default:run_term
     (Cmd.info "ccsl-cli" ~version:"1.0.0" ~doc ~man)
-    (profile_cmd :: lint_cmd
+    (profile_cmd :: lint_cmd :: run_cmd
     :: List.map experiment_cmd
          (Harness.Experiments.names @ [ "ablations"; "all" ]))
 

@@ -31,6 +31,14 @@ type page = {
       (* per block: freed (offset-in-block, unit) slots available for
          reuse -- a real allocator must recycle freed memory or churning
          programs (health!) grow without bound *)
+  opened : bool array;
+      (* per block: has this block ever received an object?  A LIFO free
+         can roll the bump pointer back to 0, so [fill] alone cannot
+         answer this and would double-count blocks_opened *)
+  mutable hinted : bool;
+      (* has a hinted allocation ever been placed on this page?  Freed
+         slots on hinted pages sit mid-structure and must not be handed
+         to hint-less allocations *)
 }
 
 type t = {
@@ -40,6 +48,9 @@ type t = {
   block_bytes : int;
   blocks_per_page : int;
   pages : (int, page) Hashtbl.t;  (* page index -> page *)
+  spans : (int, unit) Hashtbl.t;
+  (* page indices of whole-block span pages: managed memory without
+     block-level bookkeeping (one big object per span) *)
   live : (A.t, int * int) Hashtbl.t;  (* payload -> (page index, bytes) *)
   (* Sequential default path for hint-less allocations. *)
   mutable cur_page : page option;
@@ -49,10 +60,14 @@ type t = {
      hint-less objects); the tail of a growing structure thereby lands on
      a page where subsequent hinted allocations keep co-locating. *)
   mutable overflow_page : page option;
-  (* LIFO stack of (page, block) pairs holding freed slots; hint-less and
-     overflow allocations recycle from here first (recently freed memory
-     is also the cache-warm memory). *)
+  (* LIFO stacks of (page, block) pairs holding freed slots, segregated
+     by page origin: hint-less allocations recycle only from
+     default/overflow pages, hinted fallbacks only from hinted pages
+     (recently freed memory is also the cache-warm memory, but a freed
+     slot inside a hinted page sits mid-structure, and a cold object
+     there would silently undo the co-location the hints bought). *)
   mutable reuse : (page * int) list;
+  mutable reuse_hinted : (page * int) list;
   mutable pages_opened : int;
   mutable blocks_opened : int;
   mutable span_pages : int;
@@ -78,11 +93,13 @@ let create ?(strategy = New_block) ?(pages_per_grow = 1) m =
     block_bytes;
     blocks_per_page = page_bytes / block_bytes;
     pages = Hashtbl.create 512;
+    spans = Hashtbl.create 16;
     live = Hashtbl.create 4096;
     cur_page = None;
     cur_block = 0;
     overflow_page = None;
     reuse = [];
+    reuse_hinted = [];
     pages_opened = 0;
     blocks_opened = 0;
     span_pages = 0;
@@ -111,6 +128,8 @@ let open_page t =
         base = b;
         fill = Array.make t.blocks_per_page 0;
         freed = Array.make t.blocks_per_page [];
+        opened = Array.make t.blocks_per_page false;
+        hinted = false;
       }
     in
     Hashtbl.replace t.pages (A.page_index b ~page_bytes:(page_bytes t)) p;
@@ -123,8 +142,10 @@ let open_page t =
    caller checked it fits (a freed slot or bump room).  Returns the
    payload address. *)
 let place t p b unit =
-  if p.fill.(b) = 0 && p.freed.(b) = [] then
-    t.blocks_opened <- t.blocks_opened + 1;
+  if not p.opened.(b) then begin
+    p.opened.(b) <- true;
+    t.blocks_opened <- t.blocks_opened + 1
+  end;
   let off =
     (* prefer recycling a freed slot (first fit within the block) *)
     let rec take acc = function
@@ -160,15 +181,22 @@ let fits t p b unit =
   p.fill.(b) + unit <= t.block_bytes
   || List.exists (fun (_, u) -> u >= unit) p.freed.(b)
 
-(* Recycle the most recently freed slot that fits, discarding stale
-   entries whose slots have already been reused. *)
-let try_reuse t unit =
+(* Recycle the most recently freed slot that fits from the stack
+   matching the requested page origin, discarding stale entries whose
+   slots have already been reused or whose page has since been claimed
+   by hinted allocations. *)
+let try_reuse t ~hinted unit =
+  let get () = if hinted then t.reuse_hinted else t.reuse in
+  let set v = if hinted then t.reuse_hinted <- v else t.reuse <- v in
   let rec go () =
-    match t.reuse with
+    match get () with
     | [] -> None
     | (p, b) :: rest ->
-        t.reuse <- rest;
-        if List.exists (fun (_, u) -> u >= unit) p.freed.(b) then begin
+        set rest;
+        if
+          p.hinted = hinted
+          && List.exists (fun (_, u) -> u >= unit) p.freed.(b)
+        then begin
           t.reuse_hits <- t.reuse_hits + 1;
           Some (place t p b unit)
         end
@@ -184,7 +212,10 @@ let rec default_alloc_fresh t size =
       t.cur_block <- 0;
       default_alloc_fresh t size
   | Some p ->
-      if t.cur_block >= t.blocks_per_page then begin
+      if p.hinted || t.cur_block >= t.blocks_per_page then begin
+        (* A page claimed by hinted allocations (the cursor page can be
+           the structure's anchor) is off-limits to cold objects, even
+           if blocks or freed slots remain on it. *)
         t.cur_page <- Some (open_page t);
         t.cur_block <- 0;
         default_alloc_fresh t size
@@ -196,7 +227,7 @@ let rec default_alloc_fresh t size =
       end
 
 let default_alloc t unit =
-  match try_reuse t unit with
+  match try_reuse t ~hinted:false unit with
   | Some payload -> payload
   | None -> default_alloc_fresh t unit
 
@@ -244,13 +275,17 @@ let rec overflow_alloc_fresh t unit =
         else scan (b + 1)
       in
       (match scan 0 with
-      | Some b -> place t p b unit
+      | Some b ->
+          (* overflow pages only ever receive hinted spill, so their
+             freed slots stay on the hinted side of the reuse split *)
+          p.hinted <- true;
+          place t p b unit
       | None ->
           t.overflow_page <- Some (open_page t);
           overflow_alloc_fresh t unit)
 
 let overflow_alloc t unit =
-  match try_reuse t unit with
+  match try_reuse t ~hinted:true unit with
   | Some payload -> payload
   | None -> overflow_alloc_fresh t unit
 
@@ -262,6 +297,11 @@ let span_alloc t unit =
   let bytes = blocks * t.block_bytes in
   let pages = (bytes + page_bytes t - 1) / page_bytes t in
   let base = Machine.reserve_pages t.m pages in
+  for i = 0 to pages - 1 do
+    Hashtbl.replace t.spans
+      (A.page_index (base + (i * page_bytes t)) ~page_bytes:(page_bytes t))
+      ()
+  done;
   t.span_allocs <- t.span_allocs + 1;
   t.span_pages <- t.span_pages + pages;
   t.blocks_opened <- t.blocks_opened + blocks;
@@ -285,11 +325,24 @@ let alloc t ?(hint = A.null) bytes =
     let page_idx = A.page_index hint ~page_bytes:(page_bytes t) in
     match Hashtbl.find_opt t.pages page_idx with
     | None ->
-        (* Hint points outside ccmalloc-managed memory; treat as no hint. *)
-        t.hint_unmanaged <- t.hint_unmanaged + 1;
-        default_alloc t unit
+        if Hashtbl.mem t.spans page_idx then begin
+          (* Hint points at a span object: managed memory, but the page
+             is dedicated to one oversized object, so block-level
+             placement beside it is impossible — same outcome as an
+             exhausted hint page, not an unmanaged hint. *)
+          t.hinted <- t.hinted + 1;
+          t.strategy_fallbacks <- t.strategy_fallbacks + 1;
+          overflow_alloc t unit
+        end
+        else begin
+          (* Hint points outside ccmalloc-managed memory; treat as no
+             hint. *)
+          t.hint_unmanaged <- t.hint_unmanaged + 1;
+          default_alloc t unit
+        end
     | Some p ->
         t.hinted <- t.hinted + 1;
+        p.hinted <- true;
         let h = A.offset_in_page hint ~page_bytes:(page_bytes t) / t.block_bytes in
         if fits t p h unit then begin
           t.hinted_same_block <- t.hinted_same_block + 1;
@@ -325,11 +378,13 @@ let free t payload =
             p.fill.(b) <- in_block
           else begin
             p.freed.(b) <- (in_block, unit) :: p.freed.(b);
-            t.reuse <- (p, b) :: t.reuse
+            if p.hinted then t.reuse_hinted <- (p, b) :: t.reuse_hinted
+            else t.reuse <- (p, b) :: t.reuse
           end)
 
 let manages t addr =
-  Hashtbl.mem t.pages (A.page_index addr ~page_bytes:(page_bytes t))
+  let idx = A.page_index addr ~page_bytes:(page_bytes t) in
+  Hashtbl.mem t.pages idx || Hashtbl.mem t.spans idx
 
 let pages_opened t = t.pages_opened + t.span_pages
 let blocks_opened t = t.blocks_opened

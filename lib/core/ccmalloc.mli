@@ -45,17 +45,25 @@ val alloc : t -> ?hint:Memsim.Addr.t -> int -> Memsim.Addr.t
 val free : t -> Memsim.Addr.t -> unit
 (** Returns the object's bytes to its block's free space if it was the
     most recent allocation in that block (cheap LIFO reclamation);
-    otherwise records the free for statistics only.  The paper's
-    benchmarks never rely on [ccmalloc] reuse. *)
+    otherwise the slot joins a reuse pool {e segregated by page origin}:
+    slots freed on pages that ever received hinted allocations are
+    recycled only by hinted allocations (overflow spill), never by
+    hint-less ones — a cold object dropped mid-structure would silently
+    undo co-location.  The paper's benchmarks never rely on [ccmalloc]
+    reuse. *)
 
 val allocator : t -> Alloc.Allocator.t
 
 val manages : t -> Memsim.Addr.t -> bool
 (** Does [addr] fall on a ccmalloc-managed page?  This is exactly the
     membership test [alloc] applies to incoming hints (a hint outside a
-    managed page is counted in [c_hint_unmanaged] and treated as none);
-    span pages are not managed.  Diagnostic tools use it to scope
-    shadow-heap checks to memory this allocator disciplines. *)
+    managed page is counted in [c_hint_unmanaged] and treated as none).
+    Span pages are managed: a hint pointing at a live span object counts
+    as hinted but spills to an overflow page ([c_strategy_fallbacks]),
+    since block-level placement beside an oversized object is
+    impossible.  Diagnostic tools use [manages] to scope shadow-heap
+    checks to memory this allocator disciplines; it agrees with the
+    allocator's own [owns] for every live payload, span or not. *)
 
 val pages_opened : t -> int
 val blocks_opened : t -> int

@@ -41,6 +41,34 @@ type result = {
   pages_used : int;
 }
 
+(* A session remembers the block addresses the previous morph handed out
+   and a stable per-element identity, so a structure that is re-morphed
+   periodically (health's lists, an adaptive policy's re-triggers) keeps
+   landing in the same footprint instead of marching through fresh
+   address space — and keeps the same hot cache region, whose capacity
+   is a property of the cache, not of how many times we morphed. *)
+type session = {
+  mutable s_hot : A.t list;  (* reusable hot-region block addresses *)
+  mutable s_cold : A.t list;  (* reusable cold/uncolored block addresses *)
+  mutable s_ids : (A.t, int) Hashtbl.t;  (* current elem addr -> stable id *)
+  mutable s_next_id : int;
+  mutable s_key : (bool * float * int) option;  (* coloring geometry guard *)
+  mutable s_morphs : int;
+}
+
+let session () =
+  {
+    s_hot = [];
+    s_cold = [];
+    s_ids = Hashtbl.create 256;
+    s_next_id = 0;
+    s_key = None;
+    s_morphs = 0;
+  }
+
+let elem_id s addr = Hashtbl.find_opt s.s_ids addr
+let session_morphs s = s.s_morphs
+
 (* Discover the structure with a timed breadth-first traversal.  Each
    element is read exactly once: its bytes are buffered so the copy
    phase is write-only (a second scattered read pass over a structure
@@ -118,7 +146,7 @@ let dfs_order kids root_ids n =
   if !pos <> n then invalid_arg "Ccmorph: dfs_order incomplete";
   order
 
-let do_morph params m desc roots =
+let do_morph ?session params m desc roots =
   let block_bytes = Machine.l2_block_bytes m in
   if desc.elem_bytes > block_bytes then
     invalid_arg "Ccmorph: element larger than an L2 block";
@@ -169,53 +197,88 @@ let do_morph params m desc roots =
       List.iter go root_ids;
       Array.of_list (List.rev !out)
     in
+    (* Build the coloring once; both the address generator and the hot
+       capacity below share it. *)
+    let coloring =
+      if params.color then
+        Some
+          (Coloring.v ~color_frac:params.color_frac
+             ~hot_first_set:params.color_first_set
+             ~l2:(Machine.config m).Memsim.Config.l2
+             ~page_bytes:(Machine.page_bytes m) ())
+      else None
+    in
+    let hot_cap =
+      match coloring with
+      | Some c -> min nblocks (Coloring.hot_capacity_blocks c)
+      | None -> 0
+    in
+    (* Session recycling: prefer block addresses the previous morph of
+       this structure used (in the same order, so an unchanged structure
+       re-morphs to identical addresses); only draw fresh blocks for
+       growth.  The avail lists are consumed, the used lists written back
+       to the session below. *)
+    let hot_avail, cold_avail =
+      match session with
+      | None -> (ref [], ref [])
+      | Some s ->
+          let key = (params.color, params.color_frac, params.color_first_set) in
+          if s.s_key <> Some key then begin
+            (* coloring geometry changed: cached addresses belong to the
+               wrong regions, start over *)
+            s.s_key <- Some key;
+            s.s_hot <- [];
+            s.s_cold <- []
+          end;
+          (ref s.s_hot, ref s.s_cold)
+    in
+    let hot_used = ref [] and cold_used = ref [] in
+    let take avail fresh used =
+      let a =
+        match !avail with
+        | a :: rest ->
+            avail := rest;
+            a
+        | [] -> fresh ()
+      in
+      used := a :: !used;
+      a
+    in
     let hot_blocks = ref 0 in
     let block_addr : int -> A.t =
-      if params.color then begin
-        let coloring =
-          Coloring.v ~color_frac:params.color_frac
-            ~hot_first_set:params.color_first_set
-            ~l2:(Machine.config m).Memsim.Config.l2
-            ~page_bytes:(Machine.page_bytes m) ()
-        in
-        let ar = Coloring.arenas m coloring in
-        let cap = Coloring.hot_capacity_blocks coloring in
-        fun j ->
-          if j < cap then begin
-            incr hot_blocks;
-            Coloring.next_hot_block ar
-          end
-          else Coloring.next_cold_block ar
-      end
-      else begin
-        let next = ref A.null in
-        let left = ref 0 in
-        fun _ ->
-          if !left = 0 then begin
-            (* Draw a page-aligned run of blocks at a time. *)
-            let bytes = Machine.page_bytes m in
-            next := Machine.reserve m ~bytes ~align:(Machine.page_bytes m);
-            left := bytes / block_bytes
-          end;
-          let a = !next in
-          next := a + block_bytes;
-          decr left;
-          a
-      end
+      match coloring with
+      | Some coloring ->
+          let ar = lazy (Coloring.arenas m coloring) in
+          fun j ->
+            if j < hot_cap then begin
+              incr hot_blocks;
+              take hot_avail
+                (fun () -> Coloring.next_hot_block (Lazy.force ar))
+                hot_used
+            end
+            else
+              take cold_avail
+                (fun () -> Coloring.next_cold_block (Lazy.force ar))
+                cold_used
+      | None ->
+          let next = ref A.null in
+          let left = ref 0 in
+          let fresh () =
+            if !left = 0 then begin
+              (* Draw a page-aligned run of blocks at a time. *)
+              let bytes = Machine.page_bytes m in
+              next := Machine.reserve m ~bytes ~align:(Machine.page_bytes m);
+              left := bytes / block_bytes
+            end;
+            let a = !next in
+            next := a + block_bytes;
+            decr left;
+            a
+          in
+          fun _ -> take cold_avail fresh cold_used
     in
     (* Assign block base addresses: the breadth-first hot prefix first,
        then the cold blocks in depth-first first-visit order. *)
-    let hot_cap =
-      if params.color then
-        let coloring =
-          Coloring.v ~color_frac:params.color_frac
-            ~hot_first_set:params.color_first_set
-            ~l2:(Machine.config m).Memsim.Config.l2
-            ~page_bytes:(Machine.page_bytes m) ()
-        in
-        min nblocks (Coloring.hot_capacity_blocks coloring)
-      else 0
-    in
     let block_base = Array.make nblocks A.null in
     for j = 0 to hot_cap - 1 do
       block_base.(j) <- block_addr j
@@ -264,11 +327,23 @@ let do_morph params m desc roots =
         desc.kid_offsets;
       match desc.parent_offset with
       | None -> ()
-      | Some off ->
+      | Some off -> (
           let old_parent = Machine.uload32 m (na + off) in
-          if not (A.is_null old_parent) then
-            Machine.store_ptr m (na + off)
-              new_addrs.(Hashtbl.find index_of old_parent)
+          let is_ptr =
+            (not (A.is_null old_parent))
+            &&
+            match desc.kid_filter with None -> true | Some f -> f old_parent
+          in
+          if is_ptr then
+            match Hashtbl.find_opt index_of old_parent with
+            | Some i -> Machine.store_ptr m (na + off) new_addrs.(i)
+            | None ->
+                (* The parent lies outside the morphed set — this morph
+                   covers a subtree of a larger structure.  The old
+                   address would dangle into the abandoned copy, so null
+                   it; the paper's "liberal" trees tolerate a null
+                   predecessor at the reorganized region's boundary. *)
+                Machine.store_ptr m (na + off) A.null)
     in
     for v = 0 to n - 1 do
       rewrite v
@@ -289,6 +364,27 @@ let do_morph params m desc roots =
         block_base;
       Hashtbl.length pages
     in
+    (match session with
+    | None -> ()
+    | Some s ->
+        (* Keep leftover cached addresses (structure shrank) behind the
+           ones just used, so a later regrowth reclaims them. *)
+        s.s_hot <- List.rev !hot_used @ !hot_avail;
+        s.s_cold <- List.rev !cold_used @ !cold_avail;
+        let ids = Hashtbl.create (2 * n) in
+        for v = 0 to n - 1 do
+          let id =
+            match Hashtbl.find_opt s.s_ids old_addrs.(v) with
+            | Some id -> id
+            | None ->
+                let id = s.s_next_id in
+                s.s_next_id <- id + 1;
+                id
+          in
+          Hashtbl.replace ids new_addrs.(v) id
+        done;
+        s.s_ids <- ids;
+        s.s_morphs <- s.s_morphs + 1);
     {
       new_root = (if Array.length new_roots > 0 then new_roots.(0) else A.null);
       new_roots;
@@ -335,8 +431,8 @@ let observed params m desc result =
       !observers;
   result
 
-let morph ?(params = default_params) m desc ~root =
-  observed params m desc (do_morph params m desc [| root |])
+let morph ?(params = default_params) ?session m desc ~root =
+  observed params m desc (do_morph ?session params m desc [| root |])
 
-let morph_forest ?(params = default_params) m desc ~roots =
-  observed params m desc (do_morph params m desc roots)
+let morph_forest ?(params = default_params) ?session m desc ~roots =
+  observed params m desc (do_morph ?session params m desc roots)

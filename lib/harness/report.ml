@@ -15,6 +15,7 @@ let olden_result (r : Olden.Common.result) =
       ("cost", Obs.Export.cost_snapshot r.Olden.Common.snapshot);
       ("l1_miss_rate", J.Float r.Olden.Common.l1_miss_rate);
       ("l2_miss_rate", J.Float r.Olden.Common.l2_miss_rate);
+      ("l2_misses_per_ref", J.Float r.Olden.Common.l2_misses_per_ref);
       ("memory_bytes", J.Int r.Olden.Common.memory_bytes);
       ("structures_bytes", J.Int r.Olden.Common.structures_bytes);
     ]

@@ -1,6 +1,6 @@
 let schema_version = 1
 
-let envelope ~experiment ?scale ?seed data =
+let envelope ~experiment ?scale ?seed ?extra data =
   Json.Obj
     ([
        ("schema_version", Json.Int schema_version);
@@ -9,7 +9,8 @@ let envelope ~experiment ?scale ?seed data =
      ]
     @ (match scale with None -> [] | Some s -> [ ("scale", Json.String s) ])
     @ (match seed with None -> [] | Some s -> [ ("seed", Json.Int s) ])
-    @ [ ("data", data) ])
+    @ [ ("data", data) ]
+    @ match extra with None -> [] | Some fields -> fields)
 
 let validate_envelope j =
   let ( let* ) = Result.bind in

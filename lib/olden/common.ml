@@ -48,6 +48,12 @@ let describe = function
   | Ccmorph_cluster_color -> "ccmorph clustering+coloring"
   | Null_hint_control -> "ccmalloc with null hints (control)"
 
+type morph_gate = {
+  g_should : unit -> bool;
+  g_note : Ccsl.Ccmorph.result -> unit;
+  g_session : Ccsl.Ccmorph.session option;
+}
+
 type ctx = {
   placement : placement;
   machine : Machine.t;
@@ -55,7 +61,18 @@ type ctx = {
   sw_prefetch : bool;
   morph_params : Ccsl.Ccmorph.params option;
   cc : Ccsl.Ccmalloc.t option;
+  mutable gate : morph_gate option;
 }
+
+let want_morph ctx ~default =
+  ctx.morph_params <> None
+  && (match ctx.gate with Some g -> g.g_should () | None -> default)
+
+let morph_session ctx =
+  match ctx.gate with Some g -> g.g_session | None -> None
+
+let note_morph ctx r =
+  match ctx.gate with Some g -> g.g_note r | None -> ()
 
 let drop_hints (a : Alloc.Allocator.t) =
   {
@@ -105,6 +122,7 @@ let make_ctx ?config placement =
     sw_prefetch = placement = Sw_prefetch;
     morph_params;
     cc = !cc;
+    gate = None;
   }
 
 type result = {
@@ -113,6 +131,7 @@ type result = {
   snapshot : Memsim.Cost.snapshot;
   l1_miss_rate : float;
   l2_miss_rate : float;
+  l2_misses_per_ref : float;
   memory_bytes : int;
   structures_bytes : int;
 }
@@ -126,6 +145,12 @@ let finish ctx ~checksum =
     snapshot = Machine.snapshot ctx.machine;
     l1_miss_rate = Cache.miss_rate (Cache.stats (Hierarchy.l1 h));
     l2_miss_rate = Cache.miss_rate (Cache.stats (Hierarchy.l2 h));
+    l2_misses_per_ref =
+      (let refs = Cache.accesses (Cache.stats (Hierarchy.l1 h)) in
+       if refs = 0 then 0.
+       else
+         float_of_int (Cache.misses (Cache.stats (Hierarchy.l2 h)))
+         /. float_of_int refs);
     memory_bytes = stats.Alloc.Allocator.bytes_reserved;
     structures_bytes = stats.Alloc.Allocator.bytes_requested;
   }

@@ -157,11 +157,15 @@ let morph_all_lists (ctx : Common.ctx) params villages =
       in
       let roots = Array.of_list (List.map (fun l -> l.Ll.head) lists) in
       let desc = Ll.desc ~elem_bytes:12 in
-      let r = Ccsl.Ccmorph.morph_forest ~params:p ctx.Common.machine desc ~roots in
+      let r =
+        Ccsl.Ccmorph.morph_forest ~params:p
+          ?session:(Common.morph_session ctx) ctx.Common.machine desc ~roots
+      in
       List.iteri
         (fun i l ->
           Ll.set_head l r.Ccsl.Ccmorph.new_roots.(i) ~length:l.Ll.length)
         lists;
+      Common.note_morph ctx r;
       ignore params
 
 let run ?(params = default_params) ?(measure_whole = false) ?config ?ctx
@@ -179,9 +183,7 @@ let run ?(params = default_params) ?(measure_whole = false) ?config ?ctx
     for i = Array.length villages - 1 downto 0 do
       step_village ctx villages villages.(i) processed
     done;
-    if
-      ctx.Common.morph_params <> None
-      && step mod params.morph_interval = 0
+    if Common.want_morph ctx ~default:(step mod params.morph_interval = 0)
     then morph_all_lists ctx params villages
   done;
   let remaining =

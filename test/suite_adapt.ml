@@ -1,0 +1,397 @@
+(* The adaptive-placement loop: online hint synthesis (Advisor), the
+   epoch-based re-morph policy (Policy), parameter autotuning
+   (Autotune), the Reuse profiler's epoch windows they consume, and the
+   morph-gate seam the Olden kernels expose. *)
+
+module Machine = Memsim.Machine
+module Config = Memsim.Config
+module A = Memsim.Addr
+module Ccmalloc = Ccsl.Ccmalloc
+module Ccmorph = Ccsl.Ccmorph
+module Advisor = Adapt.Advisor
+module Policy = Adapt.Policy
+module Autotune = Adapt.Autotune
+module Reuse = Obs.Profile.Reuse
+module C = Olden.Common
+
+let mk () = Machine.create (Config.tiny ())
+
+(* ---------------- advisor: online hint synthesis ---------------- *)
+
+let wrapped_advisor ?config m =
+  let cc = Ccmalloc.create m in
+  let adv = Advisor.create ?config m (Ccmalloc.allocator cc) in
+  Advisor.set_ccmalloc adv cc;
+  Advisor.attach adv;
+  (adv, Advisor.allocator adv)
+
+let test_advisor_supplies () =
+  let m = mk () in
+  let adv, alloc = wrapped_advisor m in
+  (* mature the site: enough allocations, all of the traced traffic *)
+  let objs =
+    Array.init 24 (fun _ -> alloc.Alloc.Allocator.alloc ~site:"hot" 16)
+  in
+  for _ = 1 to 20 do
+    Array.iter (fun a -> ignore (Machine.load32s m a)) objs
+  done;
+  let before = (Advisor.stats adv).Advisor.hints_supplied in
+  ignore (alloc.Alloc.Allocator.alloc ~site:"hot" 16);
+  let after = (Advisor.stats adv).Advisor.hints_supplied in
+  Alcotest.(check bool)
+    "hot mature null-hint site gets a synthesized hint" true (after > before);
+  Alcotest.(check bool)
+    "site counted as adapted" true
+    ((Advisor.stats adv).Advisor.sites_adapted >= 1);
+  Advisor.detach adv
+
+let test_advisor_cold_site_untouched () =
+  let m = mk () in
+  let adv, alloc = wrapped_advisor m in
+  (* below min_allocs: the advisor must not invent hints from nothing *)
+  for _ = 1 to 8 do
+    let a = alloc.Alloc.Allocator.alloc ~site:"cold" 16 in
+    ignore (Machine.load32s m a)
+  done;
+  Alcotest.(check int)
+    "no synthesis before maturity" 0
+    (Advisor.stats adv).Advisor.hints_supplied;
+  Advisor.detach adv
+
+let test_advisor_backoff () =
+  let m = mk () in
+  (* an impossible success bar: every synthesized hint counts as a
+     placement failure, so the site must back off after min_allocs
+     tries and (with a huge probe interval) stay silent *)
+  let config =
+    {
+      Advisor.default_config with
+      Advisor.min_placement_success = 2.0;
+      probe_interval = 100_000;
+    }
+  in
+  let adv, alloc = wrapped_advisor ~config m in
+  let objs =
+    Array.init config.Advisor.min_allocs (fun _ ->
+        alloc.Alloc.Allocator.alloc ~site:"s" 16)
+  in
+  for _ = 1 to 10 do
+    Array.iter (fun a -> ignore (Machine.load32s m a)) objs
+  done;
+  for _ = 1 to 200 do
+    ignore (alloc.Alloc.Allocator.alloc ~site:"s" 16)
+  done;
+  let s = Advisor.stats adv in
+  Alcotest.(check int) "site backed off" 1 s.Advisor.sites_backed_off;
+  Alcotest.(check bool)
+    "synthesis stopped once the evidence was in" true
+    (s.Advisor.hints_supplied <= 2 * config.Advisor.min_allocs);
+  Alcotest.(check bool)
+    "but it did try first" true
+    (s.Advisor.hints_supplied >= config.Advisor.min_allocs);
+  Advisor.detach adv
+
+(* ---------------- policy: epoch trigger, hysteresis, cost gate ----- *)
+
+let fake_morph bytes_copied =
+  {
+    Ccmorph.new_root = A.null;
+    new_roots = [||];
+    nodes = 0;
+    blocks_used = 0;
+    hot_blocks = 0;
+    bytes_copied;
+    pages_used = 0;
+  }
+
+let test_policy_trigger_and_cost_gate () =
+  let m = mk () in
+  let cfg =
+    {
+      Policy.default_config with
+      Policy.epoch_accesses = 200;
+      capacity_frac = 0.02;
+      (* tiny L2: 256 sets x 1 way -> 5-block window *)
+      hysteresis = 2;
+      cooldown_epochs = 0;
+    }
+  in
+  let p = Policy.create ~config:cfg m in
+  Policy.set_target_rate p 0.0;
+  Policy.attach p;
+  let mal = Alloc.Malloc.create m in
+  let al = Alloc.Malloc.allocator mal in
+  let blocks = Array.init 64 (fun _ -> al.Alloc.Allocator.alloc 64) in
+  (* terrible locality: round-robin over 64 distinct blocks, far beyond
+     the policy's 5-block window -> implied miss rate ~1.0 *)
+  let touch n =
+    for i = 1 to n do
+      ignore (Machine.load32s m blocks.(i mod 64))
+    done
+  in
+  touch 220;
+  Alcotest.(check bool)
+    "one bad epoch is not enough (hysteresis)" false (Policy.should_morph p);
+  touch 220;
+  Alcotest.(check bool)
+    "second consecutive bad epoch triggers" true (Policy.should_morph p);
+  Alcotest.(check bool)
+    "epoch rate observed high" true
+    (Policy.last_epoch_miss_rate p > 0.5);
+  (* report a morph whose copy cost dwarfs one epoch's possible stall
+     savings: the cost/benefit gate must refuse from now on *)
+  Policy.note_morph p (fake_morph 100_000_000);
+  touch 220;
+  Alcotest.(check bool) "cost gate holds (1)" false (Policy.should_morph p);
+  touch 220;
+  Alcotest.(check bool) "cost gate holds (2)" false (Policy.should_morph p);
+  let s = Policy.stats p in
+  Alcotest.(check int) "one approval" 1 s.Policy.triggers;
+  Alcotest.(check int) "one morph noted" 1 s.Policy.morphs;
+  Alcotest.(check bool) "epochs were counted" true (s.Policy.epochs >= 4);
+  Policy.detach p
+
+let test_policy_quiet_on_good_locality () =
+  let m = mk () in
+  let cfg =
+    {
+      Policy.default_config with
+      Policy.epoch_accesses = 200;
+      capacity_frac = 0.5;
+      hysteresis = 1;
+      cooldown_epochs = 0;
+    }
+  in
+  let p = Policy.create ~config:cfg m in
+  Policy.set_target_rate p 0.5;
+  Policy.attach p;
+  let mal = Alloc.Malloc.create m in
+  let al = Alloc.Malloc.allocator mal in
+  let a = al.Alloc.Allocator.alloc 64 in
+  for _ = 1 to 1000 do
+    ignore (Machine.load32s m a)
+  done;
+  Alcotest.(check bool)
+    "hammering one block never morphs" false (Policy.should_morph p);
+  Alcotest.(check bool)
+    "rate stays under the floor" true
+    (Policy.last_epoch_miss_rate p < 0.1);
+  Policy.detach p
+
+(* ---------------- reuse profiler: epoch windows ---------------- *)
+
+let test_reuse_epochs () =
+  let r = Reuse.create ~block_bytes:64 in
+  let round () =
+    for b = 1 to 8 do
+      Reuse.on_access r false (b * 64)
+    done
+  in
+  round ();
+  round ();
+  round ();
+  let e4 = Reuse.epoch_start r ~blocks:4 in
+  Alcotest.(check int)
+    "fresh window is empty" 0
+    (Reuse.epoch_accesses r ~since:e4);
+  round ();
+  round ();
+  Alcotest.(check int)
+    "window counts only new accesses" 16
+    (Reuse.epoch_accesses r ~since:e4);
+  (* every access reuses at distance 7 >= 4: all misses in the window *)
+  Alcotest.(check int)
+    "implied misses at small capacity" 16
+    (Reuse.epoch_implied_misses r ~since:e4);
+  Alcotest.(check (float 1e-9))
+    "windowed rate" 1.0
+    (Reuse.epoch_miss_rate r ~since:e4);
+  let e8 = Reuse.epoch_start r ~blocks:8 in
+  round ();
+  Alcotest.(check int)
+    "full capacity: the same stream all hits" 0
+    (Reuse.epoch_implied_misses r ~since:e8)
+
+(* ---------------- autotune ---------------- *)
+
+let test_autotune_model_only () =
+  let r = Autotune.search ~n:4095 ~sets:256 ~assoc:1 ~block_elems:4 () in
+  Alcotest.(check bool)
+    "several candidates considered" true
+    (List.length r.Autotune.rec_candidates >= 3);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        "winner has the minimal model miss rate" true
+        (r.Autotune.rec_model_miss <= c.Autotune.cand_model_miss +. 1e-9))
+    r.Autotune.rec_candidates;
+  Alcotest.(check bool)
+    "no measured cycles without a validator" true (r.Autotune.rec_cycles = None)
+
+let test_autotune_validated () =
+  let calls = ref 0 in
+  let validate ~color_frac ~cluster ~strategy =
+    ignore cluster;
+    ignore strategy;
+    incr calls;
+    (* measured cycles overrule the model: favor a specific coloring *)
+    if color_frac = 0.5 then 100 else 1000 + !calls
+  in
+  let r =
+    Autotune.search ~validate ~n:4095 ~sets:256 ~assoc:1 ~block_elems:4 ()
+  in
+  Alcotest.(check bool) "validator consulted" true (!calls >= 3);
+  Alcotest.(check (float 1e-9))
+    "measured winner beats model ranking" 0.5 r.Autotune.rec_color_frac;
+  Alcotest.(check bool)
+    "winning cycles recorded" true (r.Autotune.rec_cycles = Some 100)
+
+(* ---------------- morph gate seam in a kernel ---------------- *)
+
+let test_gate_drives_morph () =
+  let params = { Olden.Treeadd.levels = 8; passes = 3 } in
+  let ctx = C.make_ctx C.Ccmalloc_new_block in
+  let ctx = { ctx with C.morph_params = Some Ccmorph.default_params } in
+  let fired = ref 0 in
+  let noted = ref [] in
+  ctx.C.gate <-
+    Some
+      {
+        C.g_should =
+          (fun () ->
+            incr fired;
+            !fired = 1);
+        g_note = (fun r -> noted := r :: !noted);
+        g_session = None;
+      };
+  let r = Olden.Treeadd.run ~params ~ctx C.Ccmalloc_new_block in
+  Alcotest.(check int)
+    "checksum preserved across the gated morph"
+    (Olden.Treeadd.expected_sum params)
+    r.C.checksum;
+  Alcotest.(check int) "gate consulted once per pass" 3 !fired;
+  Alcotest.(check int) "exactly one morph ran" 1 (List.length !noted);
+  List.iter
+    (fun (mr : Ccmorph.result) ->
+      Alcotest.(check bool)
+        "copy cost reported to the gate" true (mr.Ccmorph.bytes_copied > 0))
+    !noted;
+  Alcotest.(check bool)
+    "per-reference L2 miss rate is a rate" true
+    (r.C.l2_misses_per_ref >= 0. && r.C.l2_misses_per_ref <= 1.)
+
+(* ---------------- micro: adaptive tree series ---------------- *)
+
+let test_micro_adaptive_series () =
+  let run gate note =
+    (* the ~195k-cycle morph of a 4095-node tree amortizes at ~3.5
+       cycles saved per search: 20k searches leave clear headroom *)
+    Micro.Tree_bench.adaptive_series ~keys:4095 ~searches:20_000 ~poll:500
+      ~checkpoints:[ 1000; 20_000 ] ~gate ~note ()
+  in
+  let never = run (fun () -> false) (fun _ -> ()) in
+  let morphs = ref 0 in
+  let fired = ref false in
+  let once =
+    run
+      (fun () ->
+        let go = not !fired in
+        fired := true;
+        go)
+      (fun r ->
+        incr morphs;
+        Alcotest.(check bool)
+          "morph copied the tree" true
+          (r.Ccmorph.bytes_copied > 0))
+  in
+  Alcotest.(check int) "gate approved exactly one morph" 1 !morphs;
+  Alcotest.(check int)
+    "checkpoints recorded" 2
+    (List.length once.Micro.Tree_bench.points);
+  Alcotest.(check bool)
+    "mid-run morph pays off within the run" true
+    (once.Micro.Tree_bench.total_cycles < never.Micro.Tree_bench.total_cycles)
+
+(* ---------------- harness + envelope ---------------- *)
+
+let test_adaptive_report_end_to_end () =
+  match Harness.Adaptive.run "mst" with
+  | None -> Alcotest.fail "mst must be a known benchmark"
+  | Some r ->
+      let labels =
+        List.map (fun a -> a.Harness.Adaptive.arm_label) r.Harness.Adaptive.arms
+      in
+      Alcotest.(check (list string))
+        "three arms in order"
+        [ "base"; "static"; "adaptive" ]
+        labels;
+      (match r.Harness.Adaptive.arms with
+      | first :: rest ->
+          List.iter
+            (fun a ->
+              Alcotest.(check int)
+                "checksums agree across arms"
+                first.Harness.Adaptive.arm_result.C.checksum
+                a.Harness.Adaptive.arm_result.C.checksum)
+            rest
+      | [] -> Alcotest.fail "no arms");
+      let extra =
+        match Harness.Adaptive.recommendation_json r with
+        | Some j -> [ ("recommended_params", j) ]
+        | None -> []
+      in
+      Alcotest.(check bool) "autotune recommendation present" true (extra <> []);
+      let env =
+        Obs.Export.envelope ~experiment:"run-mst" ~extra
+          (Harness.Adaptive.to_json r)
+      in
+      (match Obs.Export.validate_envelope env with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      Alcotest.(check bool)
+        "recommended_params survives in the envelope" true
+        (Obs.Json.member "recommended_params" env <> None)
+
+let test_adaptive_off_pair () =
+  match Harness.Adaptive.run ~adapt:false "treeadd" with
+  | None -> Alcotest.fail "treeadd must be a known benchmark"
+  | Some r ->
+      Alcotest.(check (list string))
+        "only the comparison pair without --adapt"
+        [ "base"; "static" ]
+        (List.map
+           (fun a -> a.Harness.Adaptive.arm_label)
+           r.Harness.Adaptive.arms);
+      Alcotest.(check bool)
+        "no recommendation without the adaptive arm" true
+        (r.Harness.Adaptive.recommendation = None)
+
+let tests =
+  [
+    ( "adapt",
+      [
+        Alcotest.test_case "advisor synthesizes for hot site" `Quick
+          test_advisor_supplies;
+        Alcotest.test_case "advisor leaves cold sites alone" `Quick
+          test_advisor_cold_site_untouched;
+        Alcotest.test_case "advisor backs off on placement failure" `Quick
+          test_advisor_backoff;
+        Alcotest.test_case "policy trigger, hysteresis, cost gate" `Quick
+          test_policy_trigger_and_cost_gate;
+        Alcotest.test_case "policy quiet on good locality" `Quick
+          test_policy_quiet_on_good_locality;
+        Alcotest.test_case "reuse epoch windows" `Quick test_reuse_epochs;
+        Alcotest.test_case "autotune model-only search" `Quick
+          test_autotune_model_only;
+        Alcotest.test_case "autotune validated search" `Quick
+          test_autotune_validated;
+        Alcotest.test_case "morph gate drives a kernel" `Quick
+          test_gate_drives_morph;
+        Alcotest.test_case "micro adaptive tree series" `Quick
+          test_micro_adaptive_series;
+        Alcotest.test_case "adaptive report end to end" `Slow
+          test_adaptive_report_end_to_end;
+        Alcotest.test_case "adapt off runs the pair" `Slow
+          test_adaptive_off_pair;
+      ] );
+  ]

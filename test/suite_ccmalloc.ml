@@ -119,6 +119,52 @@ let test_free_lifo () =
   Alcotest.(check int) "LIFO slot reused" y z;
   ignore m
 
+(* Regression: a block whose bump pointer was rolled back to 0 by a LIFO
+   free must not be counted as opened again by the next allocation. *)
+let test_blocks_opened_not_double_counted () =
+  let m, t = mk Ccmalloc.New_block in
+  let x = Ccmalloc.alloc t 20 in
+  Alcotest.(check int) "one block opened" 1 (Ccmalloc.blocks_opened t);
+  Ccmalloc.free t x;
+  let y = Ccmalloc.alloc t 20 in
+  Alcotest.(check int) "same block reused" (block_of m x) (block_of m y);
+  Alcotest.(check int) "still one block opened" 1 (Ccmalloc.blocks_opened t)
+
+(* Regression: a hint pointing at a live span object is a *managed* hint
+   (manages must agree with owns); it cannot be honored block-locally, so
+   it spills to overflow as a strategy fallback, never as unmanaged. *)
+let test_span_hint_is_managed () =
+  let _, t = mk Ccmalloc.New_block in
+  let big = Ccmalloc.alloc t 200 in
+  let a = Alcotest.(check bool) in
+  a "allocator owns the span payload" true
+    ((Ccmalloc.allocator t).Alloc.Allocator.owns big);
+  a "manages agrees with owns" true (Ccmalloc.manages t big);
+  let _ = Ccmalloc.alloc t ~hint:big 20 in
+  let c = Ccmalloc.counters t in
+  Alcotest.(check int) "counted as hinted" 1 c.Ccmalloc.c_hinted;
+  Alcotest.(check int) "not counted as unmanaged" 0 c.Ccmalloc.c_hint_unmanaged;
+  Alcotest.(check int) "spilled as a strategy fallback" 1
+    c.Ccmalloc.c_strategy_fallbacks
+
+(* Regression: freed slots inside pages that received hinted allocations
+   must not be recycled (or bump-filled) by hint-less allocations — a
+   cold object mid-structure silently undoes co-location.  The slot must
+   remain available to hinted allocations. *)
+let test_cold_alloc_avoids_hint_pages () =
+  let m, t = mk Ccmalloc.New_block in
+  let x = Ccmalloc.alloc t 40 in  (* page A, block 0 *)
+  let y1 = Ccmalloc.alloc t ~hint:x 16 in  (* page A now hinted *)
+  let y2 = Ccmalloc.alloc t ~hint:y1 16 in  (* same block as y1 *)
+  Alcotest.(check int) "chain co-located" (block_of m y1) (block_of m y2);
+  Ccmalloc.free t y1;  (* non-LIFO: a freed slot inside a hinted page *)
+  let cold = Ccmalloc.alloc t 16 in
+  Alcotest.(check bool) "cold alloc avoids the hinted page" true
+    (page_of m cold <> page_of m x);
+  (* ... while a hinted allocation still reclaims the slot *)
+  let w = Ccmalloc.alloc t ~hint:y2 16 in
+  Alcotest.(check int) "hinted alloc reclaims the freed slot" y1 w
+
 let prop_all_allocations_disjoint =
   QCheck.Test.make ~count:50 ~name:"ccmalloc allocations never overlap"
     QCheck.(
@@ -156,13 +202,16 @@ let prop_all_allocations_disjoint =
    cclint counter-identity rule uses: every hinted allocation must be
    accounted for as either a same-page strategy placement or a fallback,
    under every strategy and any interleaving of hinted, unhinted,
-   foreign-hinted allocations and frees. *)
+   foreign-hinted, span, and span-hinted allocations and frees.  Kind 4
+   allocates a span object and leaves it as [last], so a following
+   kind-1 allocation hints at a live span payload — the case that used
+   to be miscounted as [c_hint_unmanaged]. *)
 let prop_counter_identity =
   QCheck.Test.make ~count:100
     ~name:"ccmalloc counter identity holds under all strategies"
     QCheck.(
       pair (int_bound 2)
-        (list_of_size (Gen.int_range 1 200) (pair (int_bound 3) (int_range 1 80))))
+        (list_of_size (Gen.int_range 1 200) (pair (int_bound 4) (int_range 1 80))))
     (fun (strat, plan) ->
       let strategy =
         match strat with
@@ -175,6 +224,7 @@ let prop_counter_identity =
       let foreign = Machine.reserve m ~bytes:64 ~align:64 in
       let last = ref A.null in
       let live = ref [] in
+      let unmanaged_hints = ref 0 in
       List.iter
         (fun (kind, sz) ->
           match kind with
@@ -184,18 +234,28 @@ let prop_counter_identity =
                 if A.is_null !last then Ccmalloc.alloc t sz
                 else Ccmalloc.alloc t ~hint:!last sz;
               live := !last :: !live
-          | 2 -> last := Ccmalloc.alloc t ~hint:foreign sz
-          | _ -> (
+          | 2 ->
+              (* span-sized objects never consult the hint at all *)
+              if sz <= 56 then incr unmanaged_hints;
+              last := Ccmalloc.alloc t ~hint:foreign sz
+          | 3 -> (
               match !live with
               | [] -> ()
               | a :: rest ->
                   Ccmalloc.free t a;
-                  live := rest))
+                  live := rest)
+          | _ ->
+              (* wider than the 64-byte block: a whole-block span *)
+              last := Ccmalloc.alloc t (sz + 64);
+              live := !last :: !live)
         plan;
       let c = Ccmalloc.counters t in
       Analyze.Shadow.check_counters c = []
       && c.Ccmalloc.c_hinted
-         = c.Ccmalloc.c_hinted_same_page + c.Ccmalloc.c_strategy_fallbacks)
+         = c.Ccmalloc.c_hinted_same_page + c.Ccmalloc.c_strategy_fallbacks
+      (* every unmanaged hint came from the foreign address, never from
+         a span payload *)
+      && c.Ccmalloc.c_hint_unmanaged = !unmanaged_hints)
 
 let tests =
   [
@@ -219,6 +279,12 @@ let tests =
         Alcotest.test_case "objects wider than a block" `Quick
           test_span_objects;
         Alcotest.test_case "LIFO free" `Quick test_free_lifo;
+        Alcotest.test_case "blocks_opened not double-counted" `Quick
+          test_blocks_opened_not_double_counted;
+        Alcotest.test_case "span hint is managed" `Quick
+          test_span_hint_is_managed;
+        Alcotest.test_case "cold alloc avoids hint pages" `Quick
+          test_cold_alloc_avoids_hint_pages;
         QCheck_alcotest.to_alcotest prop_all_allocations_disjoint;
         QCheck_alcotest.to_alcotest prop_counter_identity;
       ] );

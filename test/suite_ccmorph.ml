@@ -238,6 +238,103 @@ let test_page_aware_flag () =
   in
   Alcotest.(check (list int)) "same inorder either way" (run true) (run false)
 
+(* Regression: morphing a *subtree* of a larger structure used to raise
+   Not_found in the parent-pointer rewrite — the root's predecessor is
+   outside the morphed set.  It must morph cleanly and null the boundary
+   back-pointer rather than leave it dangling into the abandoned copy. *)
+let test_morph_subtree_of_larger_structure () =
+  let m = mk () in
+  let alloc = Alloc.Bump.allocator (Alloc.Bump.create m) in
+  let l = Structures.Linked_list.create m ~alloc in
+  for i = 1 to 10 do
+    ignore (Structures.Linked_list.append l i)
+  done;
+  (* the third node: its back pointer targets a node we do not morph *)
+  let n1 = l.Structures.Linked_list.head in
+  let n2 = Machine.uload32 m (n1 + Structures.Linked_list.off_forward) in
+  let n3 = Machine.uload32 m (n2 + Structures.Linked_list.off_forward) in
+  let r =
+    Ccmorph.morph m (Structures.Linked_list.desc ~elem_bytes:12) ~root:n3
+  in
+  Alcotest.(check int) "tail morphed" 8 r.Ccmorph.nodes;
+  Alcotest.(check int) "boundary back-pointer nulled" 0
+    (Machine.uload32 m (r.Ccmorph.new_root + Structures.Linked_list.off_back));
+  (* interior back pointers are rewritten as usual *)
+  let second =
+    Machine.uload32 m (r.Ccmorph.new_root + Structures.Linked_list.off_forward)
+  in
+  Alcotest.(check int) "interior back-pointer rewritten" r.Ccmorph.new_root
+    (Machine.uload32 m (second + Structures.Linked_list.off_back));
+  (* payloads 3..10 survive along the forward chain *)
+  let rec walk a acc =
+    if A.is_null a then List.rev acc
+    else
+      walk
+        (Machine.uload32 m (a + Structures.Linked_list.off_forward))
+        (Machine.uload32 m (a + Structures.Linked_list.off_data) :: acc)
+  in
+  Alcotest.(check (list int)) "payloads preserved"
+    [ 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (walk r.Ccmorph.new_root [])
+
+(* The kid_filter must be honored for the parent word too: a tagged
+   non-pointer value in the parent slot is copied verbatim, not chased
+   (which used to crash) or nulled. *)
+let test_parent_slot_respects_kid_filter () =
+  let m = mk () in
+  let bump = Alloc.Bump.create m in
+  let a = Alloc.Bump.alloc bump 12 and b = Alloc.Bump.alloc bump 12 in
+  Machine.ustore32 m (a + 4) b;  (* child pointer *)
+  Machine.ustore32 m (a + 8) 9;  (* tagged (odd) inline value, not a pointer *)
+  Machine.ustore32 m (b + 4) 0;
+  Machine.ustore32 m (b + 8) a;  (* a real parent pointer *)
+  let desc =
+    {
+      Ccmorph.elem_bytes = 12;
+      kid_offsets = [| 4 |];
+      parent_offset = Some 8;
+      kid_filter = Some (fun w -> w land 1 = 0);
+    }
+  in
+  let r = Ccmorph.morph m desc ~root:a in
+  Alcotest.(check int) "two nodes" 2 r.Ccmorph.nodes;
+  let a' = r.Ccmorph.new_root in
+  let b' = Machine.uload32 m (a' + 4) in
+  Alcotest.(check int) "tagged parent slot preserved verbatim" 9
+    (Machine.uload32 m (a' + 8));
+  Alcotest.(check int) "real parent pointer rewritten" a'
+    (Machine.uload32 m (b' + 8))
+
+(* Re-morph sessions: an unchanged structure re-morphs to identical
+   addresses (no address-space churn, no fresh hot stripes), and every
+   element keeps its stable identity across the move. *)
+let test_session_reuses_addresses () =
+  let m = mk () in
+  let t = build_tree m 255 11 in
+  let before = Bst.to_sorted_list t in
+  let s = Ccmorph.session () in
+  let desc = Bst.desc ~elem_bytes:20 in
+  let r1 = Ccmorph.morph ~session:s m desc ~root:t.Bst.root in
+  let root_id = Ccmorph.elem_id s r1.Ccmorph.new_root in
+  Alcotest.(check bool) "root has an id" true (root_id <> None);
+  let reserved_after_first = Machine.reserved_bytes m in
+  let r2 = Ccmorph.morph ~session:s m desc ~root:r1.Ccmorph.new_root in
+  let r3 = Ccmorph.morph ~session:s m desc ~root:r2.Ccmorph.new_root in
+  Alcotest.(check int) "re-morph reuses the same root address"
+    r1.Ccmorph.new_root r2.Ccmorph.new_root;
+  Alcotest.(check int) "and again" r1.Ccmorph.new_root r3.Ccmorph.new_root;
+  Alcotest.(check int) "no fresh address space reserved"
+    reserved_after_first (Machine.reserved_bytes m);
+  Alcotest.(check bool) "root id stable across morphs" true
+    (root_id = Ccmorph.elem_id s r3.Ccmorph.new_root);
+  Alcotest.(check int) "three session morphs" 3 (Ccmorph.session_morphs s);
+  let t' = Bst.of_root m ~elem_bytes:20 ~n:255 r3.Ccmorph.new_root in
+  Alcotest.(check (list int)) "semantics intact" before (Bst.to_sorted_list t');
+  (* contrast: a session-less re-morph marches into fresh address space *)
+  let r4 = Ccmorph.morph m desc ~root:r3.Ccmorph.new_root in
+  Alcotest.(check bool) "without a session the root moves" true
+    (r4.Ccmorph.new_root <> r3.Ccmorph.new_root)
+
 let prop_morph_preserves_bst =
   QCheck.Test.make ~count:40 ~name:"morph preserves random BSTs"
     QCheck.(pair (int_range 1 300) (int_range 0 1000))
@@ -288,6 +385,12 @@ let tests =
         Alcotest.test_case "null roots and errors" `Quick test_null_and_errors;
         Alcotest.test_case "offset hot region" `Quick test_color_first_set;
         Alcotest.test_case "page-aware flag" `Quick test_page_aware_flag;
+        Alcotest.test_case "subtree of a larger structure" `Quick
+          test_morph_subtree_of_larger_structure;
+        Alcotest.test_case "parent slot respects kid_filter" `Quick
+          test_parent_slot_respects_kid_filter;
+        Alcotest.test_case "session reuses addresses" `Quick
+          test_session_reuses_addresses;
         QCheck_alcotest.to_alcotest prop_morph_preserves_bst;
         QCheck_alcotest.to_alcotest prop_morph_parent_pointers;
       ] );
