@@ -272,5 +272,13 @@ let () =
       (Obs.Export.envelope ~experiment:"adaptive" ~scale:scale_name ?seed
          ~extra:[ ("recommended_params", recommended) ]
          data);
+    Printf.printf "wrote %s\n%!" file;
+    print_endline "=== Simulator self-benchmark (fast path vs reference) ===";
+    let simspeed = Harness.Simbench.run () in
+    Format.printf "%a@." Harness.Simbench.pp simspeed;
+    let file = "BENCH_simspeed.json" in
+    Obs.Export.write_file file
+      (Obs.Export.envelope ~experiment:"simbench"
+         (Harness.Simbench.to_json simspeed));
     Printf.printf "wrote %s\n%!" file
   end

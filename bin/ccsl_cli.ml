@@ -209,8 +209,8 @@ let profile_cmd =
 (* run subcommand (adaptive placement ablation)                        *)
 (* ------------------------------------------------------------------ *)
 
-let run_adaptive bench adapt seed json_file =
-  match Harness.Adaptive.run ?seed ~adapt bench with
+let run_adaptive bench adapt parallel seed json_file =
+  match Harness.Adaptive.run ?seed ~adapt ~parallel bench with
   | None ->
       Format.eprintf "unknown benchmark %S (expected %s)@." bench
         (String.concat ", " Harness.Adaptive.names);
@@ -249,6 +249,15 @@ let run_cmd =
     in
     Arg.(value & flag & info [ "adapt" ] ~doc)
   in
+  let parallel_term =
+    let doc =
+      "Run the placement arms as concurrent forked processes \
+       (JSON-over-pipe).  Results, including the JSON export, are \
+       byte-identical to a serial run; wall time drops to the slowest \
+       arm on multi-core machines."
+    in
+    Arg.(value & flag & info [ "parallel" ] ~doc)
+  in
   let doc =
     "Run one Olden benchmark whole-program under the placement arms: \
      no-placement base, the static Figure 7 ccmorph arm, and (with \
@@ -257,7 +266,44 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const run_adaptive $ bench_term $ adapt_term $ seed_term $ json_term)
+    Term.(
+      const run_adaptive $ bench_term $ adapt_term $ parallel_term $ seed_term
+      $ json_term)
+
+(* ------------------------------------------------------------------ *)
+(* simbench subcommand (simulator self-benchmark)                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_simbench n json_file =
+  let report = Harness.Simbench.run ~n () in
+  Format.printf "%a@." Harness.Simbench.pp report;
+  match json_file with
+  | None -> ()
+  | Some file ->
+      Obs.Export.write_file file
+        (Obs.Export.envelope ~experiment:"simbench"
+           (Harness.Simbench.to_json report));
+      Format.printf "wrote %s@." file
+
+let simbench_cmd =
+  let n_term =
+    let doc =
+      "Simulated access count for the raw-loads and pointer-chase \
+       workloads."
+    in
+    Arg.(value & opt int 2_000_000 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let doc =
+    "Benchmark the simulator itself: accesses/sec on raw sequential \
+     loads, a clustered pointer chase, and a full health benchmark arm, \
+     with the allocation-free fast path on versus the reference \
+     implementations — checking both arms produce bit-identical \
+     simulated statistics.  $(b,bench) archives the same report as \
+     BENCH_simspeed.json for the CI throughput gate."
+  in
+  Cmd.v
+    (Cmd.info "simbench" ~doc)
+    Term.(const run_simbench $ n_term $ json_term)
 
 (* ------------------------------------------------------------------ *)
 (* lint subcommand                                                     *)
@@ -335,7 +381,7 @@ let cmd =
   in
   Cmd.group ~default:run_term
     (Cmd.info "ccsl-cli" ~version:"1.0.0" ~doc ~man)
-    (profile_cmd :: lint_cmd :: run_cmd
+    (profile_cmd :: lint_cmd :: run_cmd :: simbench_cmd
     :: List.map experiment_cmd
          (Harness.Experiments.names @ [ "ablations"; "all" ]))
 

@@ -20,7 +20,10 @@ type arm = {
 type report = {
   bench : string;
   arms : arm list;  (** base, static ccmorph, adaptive *)
-  recommendation : Adapt.Autotune.recommendation option;
+  recommendation : J.t option;
+      (** {!Adapt.Autotune.to_json} of the adaptive arm's autotuned
+          parameters — kept as JSON because it crosses the
+          parallel-runner pipe verbatim *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -131,10 +134,90 @@ let recommend ?seed bench ta h =
     ~block_elems ()
 
 (* ------------------------------------------------------------------ *)
-(* The three arms                                                      *)
+(* Arm payloads: the JSON each (possibly forked) arm job returns       *)
 (* ------------------------------------------------------------------ *)
 
-let run_arms ?config ?seed bench =
+let advisor_stats_json (s : Adapt.Advisor.stats) =
+  J.Obj
+    [
+      ("hints_kept", J.Int s.Adapt.Advisor.hints_kept);
+      ("hints_supplied", J.Int s.Adapt.Advisor.hints_supplied);
+      ("hints_overridden", J.Int s.Adapt.Advisor.hints_overridden);
+      ("sites_adapted", J.Int s.Adapt.Advisor.sites_adapted);
+      ("sites_backed_off", J.Int s.Adapt.Advisor.sites_backed_off);
+    ]
+
+let advisor_stats_of_json j =
+  {
+    Adapt.Advisor.hints_kept = Report.geti "hints_kept" j;
+    hints_supplied = Report.geti "hints_supplied" j;
+    hints_overridden = Report.geti "hints_overridden" j;
+    sites_adapted = Report.geti "sites_adapted" j;
+    sites_backed_off = Report.geti "sites_backed_off" j;
+  }
+
+let policy_stats_json (s : Adapt.Policy.stats) =
+  J.Obj
+    ([
+       ("epochs", J.Int s.Adapt.Policy.epochs);
+       ("triggers", J.Int s.Adapt.Policy.triggers);
+       ("morphs", J.Int s.Adapt.Policy.morphs);
+       ("last_epoch_miss_rate", J.Float s.Adapt.Policy.last_epoch_miss_rate);
+     ]
+    @
+    match s.Adapt.Policy.target_miss_rate with
+    | Some t -> [ ("target_miss_rate", J.Float t) ]
+    | None -> [])
+
+let policy_stats_of_json j =
+  {
+    Adapt.Policy.epochs = Report.geti "epochs" j;
+    triggers = Report.geti "triggers" j;
+    morphs = Report.geti "morphs" j;
+    last_epoch_miss_rate = Report.getf "last_epoch_miss_rate" j;
+    target_miss_rate =
+      (match J.member "target_miss_rate" j with
+      | Some v -> J.to_float v
+      | None -> None);
+  }
+
+let arm_payload a ~recommendation =
+  J.Obj
+    ([
+       ("arm", J.String a.arm_label);
+       ("result", Report.olden_result a.arm_result);
+     ]
+    @ (match a.arm_advisor with
+      | Some s -> [ ("advisor", advisor_stats_json s) ]
+      | None -> [])
+    @ (match a.arm_policy with
+      | Some s -> [ ("policy", policy_stats_json s) ]
+      | None -> [])
+    @
+    match recommendation with
+    | Some r -> [ ("recommendation", r) ]
+    | None -> [])
+
+(* Returns the arm and, for the adaptive arm, the autotuner's
+   recommendation JSON. *)
+let arm_of_payload j =
+  match Report.olden_result_of_json (Report.getobj "result" j) with
+  | Error e -> failwith ("adaptive arm payload: " ^ e)
+  | Ok res ->
+      ( {
+          arm_label = Report.gets "arm" j;
+          arm_result = res;
+          arm_advisor =
+            Option.map advisor_stats_of_json (J.member "advisor" j);
+          arm_policy = Option.map policy_stats_of_json (J.member "policy" j);
+        },
+        J.member "recommendation" j )
+
+(* ------------------------------------------------------------------ *)
+(* The three arms, as independent jobs for the (parallel) runner       *)
+(* ------------------------------------------------------------------ *)
+
+let arm_jobs ?config ?seed bench =
   let ta, h, mst, per =
     Experiments.olden_params ?seed Experiments.Quick
   in
@@ -167,17 +250,17 @@ let run_arms ?config ?seed bench =
   match runner with
   | None -> None
   | Some run ->
-      let plain label p =
-        {
-          arm_label = label;
-          arm_result = run p;
-          arm_advisor = None;
-          arm_policy = None;
-        }
+      let plain label p () =
+        arm_payload
+          {
+            arm_label = label;
+            arm_result = run p;
+            arm_advisor = None;
+            arm_policy = None;
+          }
+          ~recommendation:None
       in
-      let base = plain "base" C.Base in
-      let static = plain "static" C.Ccmorph_cluster_color in
-      let adaptive =
+      let adaptive () =
         let rec_params = recommend ?seed bench ta h in
         let morph_params = Adapt.Autotune.morph_params rec_params in
         let policy_config =
@@ -208,36 +291,44 @@ let run_arms ?config ?seed bench =
         let r = run ~ctx:parts.ctx C.Ccmalloc_new_block in
         Adapt.Advisor.detach parts.advisor;
         Adapt.Policy.detach parts.policy;
-        ( {
+        arm_payload
+          {
             arm_label = "adaptive";
             arm_result = r;
             arm_advisor = Some (Adapt.Advisor.stats parts.advisor);
             arm_policy = Some (Adapt.Policy.stats parts.policy);
-          },
-          rec_params )
+          }
+          ~recommendation:(Some (Adapt.Autotune.to_json rec_params))
       in
-      let adaptive_arm, rec_params = adaptive in
       Some
-        {
-          bench;
-          arms = [ base; static; adaptive_arm ];
-          recommendation = Some rec_params;
-        }
+        [
+          ("base", plain "base" C.Base);
+          ("static", plain "static" C.Ccmorph_cluster_color);
+          ("adaptive", adaptive);
+        ]
 
-let run ?seed ?(adapt = true) bench =
+let run ?seed ?(adapt = true) ?(parallel = false) bench =
   if not (List.mem bench names) then None
-  else if adapt then run_arms ?seed bench
   else
-    (* without --adapt: just the static comparison pair *)
-    match run_arms ?seed bench with
+    match arm_jobs ?seed bench with
     | None -> None
-    | Some r ->
+    | Some jobs ->
+        (* without --adapt: just the static comparison pair (the
+           autotuner and adaptive arm never run) *)
+        let jobs =
+          if adapt then jobs
+          else List.filter (fun (name, _) -> name <> "adaptive") jobs
+        in
+        let payloads = Parallel.run_jobs ~parallel jobs in
+        let decoded = List.map (fun (_, j) -> arm_of_payload j) payloads in
         Some
           {
-            r with
-            arms =
-              List.filter (fun a -> a.arm_label <> "adaptive") r.arms;
-            recommendation = None;
+            bench;
+            arms = List.map fst decoded;
+            recommendation =
+              List.fold_left
+                (fun acc (_, r) -> if r <> None then r else acc)
+                None decoded;
           }
 
 (* ------------------------------------------------------------------ *)
@@ -279,9 +370,9 @@ let pp ppf r =
   | Some rc ->
       Format.fprintf ppf
         "  recommended: color_frac %.2f, %s clustering, %s strategy@."
-        rc.Adapt.Autotune.rec_color_frac
-        (Adapt.Autotune.cluster_name rc.Adapt.Autotune.rec_cluster)
-        (Ccmalloc.strategy_name rc.Adapt.Autotune.rec_strategy)
+        (Report.getf "color_frac" rc)
+        (Report.gets "cluster" rc)
+        (Report.gets "strategy" rc)
   | None -> ()
 
 let arm_to_json base a =
@@ -293,37 +384,11 @@ let arm_to_json base a =
        ("result", Report.olden_result res);
      ]
     @ (match a.arm_advisor with
-      | Some s ->
-          [
-            ( "advisor",
-              J.Obj
-                [
-                  ("hints_kept", J.Int s.Adapt.Advisor.hints_kept);
-                  ("hints_supplied", J.Int s.Adapt.Advisor.hints_supplied);
-                  ("hints_overridden", J.Int s.Adapt.Advisor.hints_overridden);
-                  ("sites_adapted", J.Int s.Adapt.Advisor.sites_adapted);
-                  ("sites_backed_off", J.Int s.Adapt.Advisor.sites_backed_off);
-                ] );
-          ]
+      | Some s -> [ ("advisor", advisor_stats_json s) ]
       | None -> [])
     @
     match a.arm_policy with
-    | Some s ->
-        [
-          ( "policy",
-            J.Obj
-              ([
-                 ("epochs", J.Int s.Adapt.Policy.epochs);
-                 ("triggers", J.Int s.Adapt.Policy.triggers);
-                 ("morphs", J.Int s.Adapt.Policy.morphs);
-                 ( "last_epoch_miss_rate",
-                   J.Float s.Adapt.Policy.last_epoch_miss_rate );
-               ]
-              @
-              match s.Adapt.Policy.target_miss_rate with
-              | Some t -> [ ("target_miss_rate", J.Float t) ]
-              | None -> []) );
-        ]
+    | Some s -> [ ("policy", policy_stats_json s) ]
     | None -> [])
 
 let to_json r =
@@ -336,5 +401,4 @@ let to_json r =
       ("arms", J.List (List.map (arm_to_json base) r.arms));
     ]
 
-let recommendation_json r =
-  Option.map Adapt.Autotune.to_json r.recommendation
+let recommendation_json r = r.recommendation

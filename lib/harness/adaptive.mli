@@ -28,13 +28,31 @@ type arm = {
 type report = {
   bench : string;
   arms : arm list;
-  recommendation : Adapt.Autotune.recommendation option;
+  recommendation : Obs.Json.t option;
+      (** {!Adapt.Autotune.to_json} of the autotuned parameters; kept as
+          JSON because it crosses the parallel-runner pipe verbatim *)
 }
 
-val run : ?seed:int -> ?adapt:bool -> string -> report option
+val arm_payload : arm -> recommendation:Obs.Json.t option -> Obs.Json.t
+(** The self-describing JSON document one arm job returns (over the
+    {!Parallel} pipe or in-process). *)
+
+val arm_of_payload : Obs.Json.t -> arm * Obs.Json.t option
+(** Inverse of {!arm_payload}; raises [Failure] on a corrupt payload. *)
+
+val run :
+  ?seed:int -> ?adapt:bool -> ?parallel:bool -> string -> report option
 (** Run the arms for one benchmark; [None] for an unknown name.
     [adapt] (default true) includes the adaptive arm and the autotuned
-    recommendation; [false] runs only the base/static pair. *)
+    recommendation; [false] runs only the base/static pair.
+
+    With [parallel:true] (default false) each arm runs in a forked
+    child via {!Parallel} — the adaptive arm's autotune validation runs
+    overlap the base and static arms — and results come back as
+    JSON-over-pipe.  Every arm seeds its own RNGs from the benchmark
+    params, so the report (and its JSON export) is byte-identical to a
+    serial run; both modes decode through the same {!arm_of_payload}
+    path. *)
 
 val pp : Format.formatter -> report -> unit
 

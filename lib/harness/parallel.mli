@@ -1,0 +1,25 @@
+(** Process-parallel experiment runner: one forked child per job, JSON
+    results collected over pipes and returned in job order.
+
+    Each child inherits a snapshot of the parent's state at fork time
+    and runs in isolation, so a job that seeds its own RNGs (every
+    benchmark runner here does — params carry explicit seeds) produces
+    exactly the document it would produce serially; the assembled output
+    is byte-identical to a serial run.  Jobs must return their result as
+    JSON and must not print to stdout/stderr. *)
+
+val available : bool
+(** [Unix.fork] support on this platform. *)
+
+val run_serial : (string * (unit -> Obs.Json.t)) list -> (string * Obs.Json.t) list
+(** Run the jobs in order in this process (the reference mode). *)
+
+val run_jobs :
+  ?parallel:bool ->
+  (string * (unit -> Obs.Json.t)) list ->
+  (string * Obs.Json.t) list
+(** [run_jobs ~parallel jobs] runs every [(name, job)] and returns
+    [(name, result)] in the original job order.  With [parallel:true]
+    (the default) each job runs in a forked child; single-job lists and
+    [parallel:false] fall back to {!run_serial}.  A job that raises (or
+    a child that dies) turns into [Failure] in the parent. *)

@@ -1,0 +1,44 @@
+(** Simulator self-benchmark: real-world throughput of the per-access
+    simulation path, fast path vs the reference implementations.
+
+    Three workloads — [raw-loads] (sequential sweep), [pointer-chase]
+    (dependent chase over a clustered 16-byte-node ring, the layout the
+    paper's placements produce) and [health-arm] (a full Olden health
+    run under clustering+coloring).  Each runs with {!Memsim.Fastpath}
+    on and off in one process; the report carries accesses/sec for both
+    arms, the speedup, and a bit-identical check over the simulated
+    statistics (cycles, misses, evictions, writebacks).
+
+    [ccsl-cli simbench] prints it; [bench] archives it as
+    [BENCH_simspeed.json], the number the CI throughput gate compares
+    against. *)
+
+type side = {
+  s_seconds : float;
+  s_accesses : int;
+  s_per_sec : float;
+  s_cycles : int;
+  s_l1_misses : int;
+  s_l2_misses : int;
+  s_evictions : int;
+  s_writebacks : int;
+}
+
+type row = {
+  w_name : string;
+  w_fast : side;
+  w_ref : side;
+  w_speedup : float;  (** fast accesses/sec over reference accesses/sec *)
+  w_identical : bool;  (** simulated stats bit-identical across modes *)
+}
+
+type report = { machine : string; rows : row list }
+
+val run : ?n:int -> ?repeats:int -> unit -> report
+(** [n] (default 2,000,000) is the access count for the two synthetic
+    workloads; [health-arm] always runs the quick-scale benchmark.
+    Each arm is timed [repeats] times (default 3) and the fastest
+    repeat reported. *)
+
+val pp : Format.formatter -> report -> unit
+val to_json : report -> Obs.Json.t

@@ -16,6 +16,17 @@ type t = {
   last_use : int array;  (* global tick of last touch; LRU = smallest *)
   mutable tick : int;
   stats : stats;
+  (* precomputed geometry so the hot path never divides *)
+  block_shift : int;
+  set_mask : int;
+  write_back : bool;
+  (* MRU block filter: the last line that served a hit or fill, as
+     (set, absolute index).  Valid iff [tags.(mru_idx)] still holds the
+     probed tag — eviction and invalidation self-invalidate the memo, so
+     no extra bookkeeping is needed on those paths. *)
+  mutable mru_set : int;
+  mutable mru_idx : int;
+  mutable mru_hits : int;
 }
 
 let fresh_stats () =
@@ -38,11 +49,31 @@ let create cfg =
     last_use = Array.make n 0;
     tick = 0;
     stats = fresh_stats ();
+    block_shift = Addr.log2 cfg.Cache_config.block_bytes;
+    set_mask = cfg.Cache_config.sets - 1;
+    write_back = cfg.Cache_config.policy = Cache_config.Write_back;
+    mru_set = -1;
+    mru_idx = 0;
+    mru_hits = 0;
   }
 
 let config t = t.cfg
 
+(* Allocation-free way lookup: absolute index, or -1 when absent.
+   [base + w] is in range by construction ([set] < sets, [w] < assoc). *)
 let find_way t set tag =
+  let base = set * t.cfg.assoc in
+  let rec go w =
+    if w = t.cfg.assoc then -1
+    else if Array.unsafe_get t.tags (base + w) = tag then base + w
+    else go (w + 1)
+  in
+  go 0
+
+(* The pre-fastpath lookup, kept verbatim as the reference arm: the
+   [Some] it returns on every hit is exactly the per-access allocation
+   the fast path removes. *)
+let find_way_opt t set tag =
   let base = set * t.cfg.assoc in
   let rec go w =
     if w = t.cfg.assoc then None
@@ -67,9 +98,9 @@ let victim_way t set =
   done;
   !best
 
-let touch t i =
+let[@inline] touch t i =
   t.tick <- t.tick + 1;
-  t.last_use.(i) <- t.tick
+  Array.unsafe_set t.last_use i t.tick
 
 let fill t set tag ~dirty =
   let i = victim_way t set in
@@ -80,9 +111,42 @@ let fill t set tag ~dirty =
   t.tags.(i) <- tag;
   t.dirty.(i) <- dirty;
   touch t i;
+  t.mru_set <- set;
+  t.mru_idx <- i;
   i
 
-let access t ~write a =
+(* Demand-hit bookkeeping shared by every lookup path; identical to what
+   the reference arm does on a hit, so statistics stay bit-identical. *)
+let[@inline] record_hit t ~write i =
+  touch t i;
+  if write && t.write_back then Array.unsafe_set t.dirty i true
+
+let access_fast t ~write a =
+  let tag = a lsr t.block_shift in
+  let set = tag land t.set_mask in
+  if write then t.stats.writes <- t.stats.writes + 1
+  else t.stats.reads <- t.stats.reads + 1;
+  let i =
+    if set = t.mru_set && Array.unsafe_get t.tags t.mru_idx = tag then begin
+      t.mru_hits <- t.mru_hits + 1;
+      t.mru_idx
+    end
+    else find_way t set tag
+  in
+  if i >= 0 then begin
+    record_hit t ~write i;
+    t.mru_set <- set;
+    t.mru_idx <- i;
+    true
+  end
+  else begin
+    if write then t.stats.write_misses <- t.stats.write_misses + 1
+    else t.stats.read_misses <- t.stats.read_misses + 1;
+    ignore (fill t set tag ~dirty:(write && t.write_back));
+    false
+  end
+
+let access_ref t ~write a =
   let set = Cache_config.set_of_addr t.cfg a in
   let tag = Cache_config.tag_of_addr t.cfg a in
   if write then t.stats.writes <- t.stats.writes + 1
@@ -90,7 +154,7 @@ let access t ~write a =
   let mark_dirty i =
     if write && t.cfg.policy = Cache_config.Write_back then t.dirty.(i) <- true
   in
-  match find_way t set tag with
+  match find_way_opt t set tag with
   | Some i ->
       touch t i;
       mark_dirty i;
@@ -104,34 +168,56 @@ let access t ~write a =
       ignore i;
       false
 
+let access t ~write a =
+  if !Fastpath.enabled then access_fast t ~write a else access_ref t ~write a
+
+(* No [Fastpath] check here: the callers ({!Hierarchy.access} and
+   {!Hierarchy.try_hit}) guard on the flag once per access, so the memo
+   probe itself is branch-minimal.  [mru_idx] is always a valid index
+   (it only ever holds values produced by [fill] or [find_way]). *)
+let[@inline] mru_hit t ~write a =
+  let tag = a lsr t.block_shift in
+  let set = tag land t.set_mask in
+  if set = t.mru_set && Array.unsafe_get t.tags t.mru_idx = tag then begin
+    if write then t.stats.writes <- t.stats.writes + 1
+    else t.stats.reads <- t.stats.reads + 1;
+    record_hit t ~write t.mru_idx;
+    t.mru_hits <- t.mru_hits + 1;
+    true
+  end
+  else false
+
+let mru_filter_hits t = t.mru_hits
+
 let probe t a =
   let set = Cache_config.set_of_addr t.cfg a in
   let tag = Cache_config.tag_of_addr t.cfg a in
-  find_way t set tag <> None
+  find_way t set tag >= 0
 
 let install t ?(prefetch = false) a =
   let set = Cache_config.set_of_addr t.cfg a in
   let tag = Cache_config.tag_of_addr t.cfg a in
-  match find_way t set tag with
-  | Some _ -> ()
-  | None ->
-      ignore (fill t set tag ~dirty:false);
-      if prefetch then
-        t.stats.prefetch_installs <- t.stats.prefetch_installs + 1
+  if find_way t set tag < 0 then begin
+    ignore (fill t set tag ~dirty:false);
+    if prefetch then
+      t.stats.prefetch_installs <- t.stats.prefetch_installs + 1
+  end
 
 let invalidate t a =
   let set = Cache_config.set_of_addr t.cfg a in
   let tag = Cache_config.tag_of_addr t.cfg a in
-  match find_way t set tag with
-  | Some i ->
-      t.tags.(i) <- -1;
-      t.dirty.(i) <- false
-  | None -> ()
+  let i = find_way t set tag in
+  if i >= 0 then begin
+    t.tags.(i) <- -1;
+    t.dirty.(i) <- false
+  end
 
 let clear t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.dirty 0 (Array.length t.dirty) false;
-  Array.fill t.last_use 0 (Array.length t.last_use) 0
+  Array.fill t.last_use 0 (Array.length t.last_use) 0;
+  t.mru_set <- -1;
+  t.mru_idx <- 0
 
 let stats t = t.stats
 

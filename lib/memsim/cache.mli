@@ -22,7 +22,29 @@ val config : t -> Cache_config.t
 val access : t -> write:bool -> Addr.t -> bool
 (** [access t ~write a] simulates a demand reference to the block holding
     [a].  Returns [true] on hit.  On a miss the block is installed,
-    evicting the LRU way of its set.  Statistics are updated. *)
+    evicting the LRU way of its set.  Statistics are updated.
+
+    When {!Fastpath.enabled} (the default) the lookup goes through an
+    allocation-free scan fronted by an MRU block filter — a memo of the
+    last line that served a hit or fill, so repeated same-block accesses
+    (the common case for clustered layouts) skip the associative scan.
+    Hits and misses, LRU order and every statistic are bit-identical to
+    the reference path used when the switch is off. *)
+
+val mru_hit : t -> write:bool -> Addr.t -> bool
+(** Fast-path hook for {!Hierarchy}: if the MRU filter proves the block
+    holding [a] is resident, account a demand hit exactly as {!access}
+    would and return [true]; otherwise do {e nothing} and return
+    [false] (the caller falls back to the full {!access} walk).
+
+    Does {e not} consult {!Fastpath.enabled} — callers guard on the flag
+    once per access so the probe itself stays branch-minimal.  Calling
+    it with the fast path off is harmless (the accounting is identical
+    to {!access}'s hit arm) but defeats the differential comparison. *)
+
+val mru_filter_hits : t -> int
+(** Accesses served by the MRU filter without an associative scan
+    (telemetry for the fast path; not part of {!stats}). *)
 
 val probe : t -> Addr.t -> bool
 (** Non-intrusive lookup: does not update LRU state or statistics. *)

@@ -1,0 +1,15 @@
+(* Global switch between the throughput-tuned simulation paths and the
+   straightforward reference implementations they replaced.  Simulated
+   results (cycles, hit/miss counts, evictions, writebacks) are
+   bit-identical either way; only real-world speed differs.  The switch
+   exists so the differential tests and the simbench self-benchmark can
+   compare the two paths in one process. *)
+
+let enabled = ref true
+
+let set b = enabled := b
+
+let with_mode b f =
+  let saved = !enabled in
+  enabled := b;
+  Fun.protect ~finally:(fun () -> enabled := saved) f

@@ -1,0 +1,20 @@
+(** Switch between the throughput-tuned simulator hot paths and the
+    reference implementations they replaced.
+
+    The fast paths (the {!Cache} MRU block filter, the {!Hierarchy}
+    L1-resident filter, {!Machine}'s observer-free monomorphic accessors
+    and {!Memory}'s unboxed word accessors) leave every simulated
+    statistic {e bit-identical}; they only change how fast the simulator
+    itself runs.  Disabling them routes every access through the
+    straightforward scan-based code, which doubles as the oracle for the
+    differential tests and as the baseline for the [simbench]
+    self-benchmark. *)
+
+val enabled : bool ref
+(** [true] (the default) selects the fast paths. *)
+
+val set : bool -> unit
+
+val with_mode : bool -> (unit -> 'a) -> 'a
+(** [with_mode b f] runs [f] with the switch set to [b], restoring the
+    previous mode afterwards (also on exceptions). *)

@@ -7,8 +7,14 @@ type t = {
   lat : latencies;
   hw_prefetch : bool;
   mshrs : int;
-  (* L2-block base -> absolute cycle at which the fill completes *)
-  pending : (int, int) Hashtbl.t;
+  (* MSHR table as a fixed-size ring sized by [mshrs]: slot i holds an
+     in-flight L2 fill (pend_blk.(i) = block base, -1 = free slot;
+     pend_ready.(i) = absolute completion cycle).  [mshrs] is small
+     (Table 1: 8), so linear scans beat any hashed structure and the
+     table never allocates after creation. *)
+  pend_blk : int array;
+  pend_ready : int array;
+  mutable pend_count : int;
   mutable hw_prefetches : int;
   mutable dropped : int;
   mutable consumed : int;  (* pending fills absorbed by demand accesses *)
@@ -26,7 +32,9 @@ let create ?tlb ?(hw_prefetch = false) ?(mshrs = 8) ~l1 ~l2 ~latencies () =
     lat = latencies;
     hw_prefetch;
     mshrs;
-    pending = Hashtbl.create 32;
+    pend_blk = Array.make mshrs (-1);
+    pend_ready = Array.make mshrs 0;
+    pend_count = 0;
     hw_prefetches = 0;
     dropped = 0;
     consumed = 0;
@@ -44,60 +52,105 @@ let l2_block_base t a =
 
 let fill_latency t = t.lat.l1_miss + t.lat.l2_miss
 
+let pend_find t blk =
+  let rec go i =
+    if i = t.mshrs then -1 else if t.pend_blk.(i) = blk then i else go (i + 1)
+  in
+  if t.pend_count = 0 then -1 else go 0
+
+let pend_add t blk ready =
+  let rec go i =
+    if i = t.mshrs then assert false
+    else if t.pend_blk.(i) = -1 then begin
+      t.pend_blk.(i) <- blk;
+      t.pend_ready.(i) <- ready;
+      t.pend_count <- t.pend_count + 1
+    end
+    else go (i + 1)
+  in
+  go 0
+
+let pend_remove t i =
+  t.pend_blk.(i) <- -1;
+  t.pend_count <- t.pend_count - 1
+
+let pend_clear t =
+  Array.fill t.pend_blk 0 t.mshrs (-1);
+  t.pend_count <- 0
+
 (* Retire pending fills that have completed by [now], installing them in
-   the L2 as the memory system would. *)
+   the L2 as the memory system would.  Slot order is deterministic. *)
 let drain_completed t ~now =
-  let done_ = ref [] in
-  Hashtbl.iter (fun blk ready -> if ready <= now then done_ := blk :: !done_)
-    t.pending;
-  List.iter
-    (fun blk ->
-      Hashtbl.remove t.pending blk;
-      Cache.install t.l2 ~prefetch:true blk)
-    !done_
+  for i = 0 to t.mshrs - 1 do
+    if t.pend_blk.(i) >= 0 && t.pend_ready.(i) <= now then begin
+      Cache.install t.l2 ~prefetch:true t.pend_blk.(i);
+      pend_remove t i
+    end
+  done
 
 let schedule t ~now a =
   let blk = l2_block_base t a in
-  if not (Cache.probe t.l2 blk) && not (Hashtbl.mem t.pending blk) then begin
-    if Hashtbl.length t.pending >= t.mshrs then drain_completed t ~now;
-    if Hashtbl.length t.pending >= t.mshrs then t.dropped <- t.dropped + 1
-    else Hashtbl.replace t.pending blk (now + fill_latency t)
+  if (not (Cache.probe t.l2 blk)) && pend_find t blk < 0 then begin
+    if t.pend_count >= t.mshrs then drain_completed t ~now;
+    if t.pend_count >= t.mshrs then t.dropped <- t.dropped + 1
+    else pend_add t blk (now + fill_latency t)
   end
 
 let next_line_prefetch t ~now a =
   let b = (Cache.config t.l2).Cache_config.block_bytes in
   let next = l2_block_base t a + b in
-  if not (Cache.probe t.l2 next) && not (Hashtbl.mem t.pending next) then begin
-    if Hashtbl.length t.pending >= t.mshrs then drain_completed t ~now;
-    if Hashtbl.length t.pending < t.mshrs then begin
-      Hashtbl.replace t.pending next (now + fill_latency t);
+  if (not (Cache.probe t.l2 next)) && pend_find t next < 0 then begin
+    if t.pend_count >= t.mshrs then drain_completed t ~now;
+    if t.pend_count < t.mshrs then begin
+      pend_add t next (now + fill_latency t);
       t.hw_prefetches <- t.hw_prefetches + 1
     end
   end
 
-let access t ~now ~write a =
-  let tlb_cycles = match t.tlb with None -> 0 | Some tlb -> Tlb.access tlb a in
+let access_walk t ~now ~write ~tlb_cycles a =
   let cycles =
     if Cache.access t.l1 ~write a then t.lat.l1_hit
     else if Cache.access t.l2 ~write a then t.lat.l1_hit + t.lat.l1_miss
     else begin
       (* L2 miss; an in-flight prefetch absorbs part of the latency *)
       let blk = l2_block_base t a in
-      match Hashtbl.find_opt t.pending blk with
-      | Some ready ->
-          Hashtbl.remove t.pending blk;
-          (* never worse than a plain demand miss: the controller simply
-             reissues the fetch if the prefetch is still far out *)
-          let remaining = min (max 0 (ready - now)) t.lat.l2_miss in
-          t.consumed <- t.consumed + 1;
-          t.saved <- t.saved + (t.lat.l2_miss - remaining);
-          t.lat.l1_hit + t.lat.l1_miss + remaining
-      | None ->
-          if t.hw_prefetch then next_line_prefetch t ~now a;
-          t.lat.l1_hit + t.lat.l1_miss + t.lat.l2_miss
+      let slot = pend_find t blk in
+      if slot >= 0 then begin
+        let ready = t.pend_ready.(slot) in
+        pend_remove t slot;
+        (* never worse than a plain demand miss: the controller simply
+           reissues the fetch if the prefetch is still far out *)
+        let remaining = min (max 0 (ready - now)) t.lat.l2_miss in
+        t.consumed <- t.consumed + 1;
+        t.saved <- t.saved + (t.lat.l2_miss - remaining);
+        t.lat.l1_hit + t.lat.l1_miss + remaining
+      end
+      else begin
+        if t.hw_prefetch then next_line_prefetch t ~now a;
+        t.lat.l1_hit + t.lat.l1_miss + t.lat.l2_miss
+      end
     end
   in
   cycles + tlb_cycles
+
+let access t ~now ~write a =
+  match t.tlb with
+  | None ->
+      (* L1-resident block filter: when the L1's MRU memo proves the
+         access hits, the whole two-level walk (and the set/tag
+         decomposition of the full L1 lookup) is skipped.  [mru_hit]
+         performs the demand-hit accounting itself; the [Fastpath] guard
+         lives here so the memo probe is branch-free inside. *)
+      if !Fastpath.enabled && Cache.mru_hit t.l1 ~write a then t.lat.l1_hit
+      else access_walk t ~now ~write ~tlb_cycles:0 a
+  | Some tlb -> access_walk t ~now ~write ~tlb_cycles:(Tlb.access tlb a) a
+
+(* Callers ({!Machine}) check [Fastpath.enabled] before dispatching here,
+   so this probe skips the flag read. *)
+let[@inline] try_hit t ~write a =
+  match t.tlb with
+  | None -> if Cache.mru_hit t.l1 ~write a then t.lat.l1_hit else -1
+  | Some _ -> -1
 
 let access_range t ~now ~write a ~bytes =
   if bytes <= 0 then invalid_arg "Hierarchy.access_range: bytes <= 0";
@@ -113,14 +166,14 @@ let access_range t ~now ~write a ~bytes =
   !total
 
 let prefetch t ~now a = schedule t ~now a
-let pending_prefetches t = Hashtbl.length t.pending
+let pending_prefetches t = t.pend_count
 
 let would_miss_l2 t a = (not (Cache.probe t.l1 a)) && not (Cache.probe t.l2 a)
 
 let clear t =
   Cache.clear t.l1;
   Cache.clear t.l2;
-  Hashtbl.reset t.pending;
+  pend_clear t;
   Option.iter Tlb.clear t.tlb
 
 let reset_stats t =
@@ -129,7 +182,7 @@ let reset_stats t =
   Option.iter Tlb.reset_stats t.tlb;
   (* measurement resets rebase the cycle clock; absolute ready times in
      the prefetch queue would be wildly stale, so drop them *)
-  Hashtbl.reset t.pending;
+  pend_clear t;
   t.hw_prefetches <- 0;
   t.dropped <- 0;
   t.consumed <- 0;

@@ -5,6 +5,13 @@ type t = {
   mem : Memory.t;
   hier : Hierarchy.t;
   cost : Cost.t;
+  (* hot-path shortcuts, all fixed at creation: the L1 cache and hit
+     latency let the fast arms probe the MRU filter without going
+     through {!Hierarchy.try_hit}'s dispatch, and [no_tlb] gates them
+     (with a TLB every access must pay the TLB walk) *)
+  l1 : Cache.t;
+  l1_hit_lat : int;
+  no_tlb : bool;
   mutable brk : Addr.t;
   mutable tracer : (bool -> Addr.t -> unit) option;
   mutable subs : (subscription * (bool -> Addr.t -> unit)) list;
@@ -24,6 +31,9 @@ let create (cfg : Config.t) =
     mem = Memory.create ();
     hier;
     cost = Cost.create ();
+    l1 = Hierarchy.l1 hier;
+    l1_hit_lat = (Hierarchy.latencies hier).Hierarchy.l1_hit;
+    no_tlb = Hierarchy.tlb hier = None;
     (* Start allocation at one page so address 0 stays null. *)
     brk = cfg.page_bytes;
     tracer = None;
@@ -63,12 +73,18 @@ let trace t write a =
   match t.notify with None -> () | Some f -> f write a
 
 let rebuild_notify t =
+  (* [subs] is a prepend-only list (O(1) subscribe); the fan-out closure
+     sorts it by subscription id here, once per (un)subscribe, so
+     observers still run in subscription order. *)
   t.notify <-
     (match (t.tracer, t.subs) with
     | None, [] -> None
     | Some f, [] -> Some f
     | None, [ (_, f) ] -> Some f
     | tracer, subs ->
+        let subs =
+          List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) subs
+        in
         Some
           (fun w a ->
             (match tracer with None -> () | Some f -> f w a);
@@ -81,7 +97,7 @@ let set_tracer t f =
 let subscribe t f =
   let id = t.next_sub in
   t.next_sub <- id + 1;
-  t.subs <- t.subs @ [ (id, f) ];
+  t.subs <- (id, f) :: t.subs;
   rebuild_notify t;
   id
 
@@ -89,20 +105,62 @@ let unsubscribe t id =
   t.subs <- List.filter (fun (i, _) -> i <> id) t.subs;
   rebuild_notify t
 
+(* Timed word accessors.  When no tracer or subscriber is attached and
+   the fast path is on, the trace fan-out, the absolute-cycle
+   computation (only needed by the prefetch engine on L2 misses) and the
+   full hierarchy walk all collapse into one monomorphic hit path:
+   unprofiled runs pay zero observer cost. *)
+
 let load32 t a =
-  trace t false a;
-  charge_load t (Hierarchy.access t.hier ~now:(now t) ~write:false a);
-  Memory.load32 t.mem a
+  match t.notify with
+  | None when !Fastpath.enabled ->
+      if t.no_tlb && Cache.mru_hit t.l1 ~write:false a then begin
+        t.cost.Cost.busy <- t.cost.Cost.busy + 1;
+        t.cost.Cost.load_stall <- t.cost.Cost.load_stall + (t.l1_hit_lat - 1);
+        Memory.load32_fast t.mem a
+      end
+      else begin
+        charge_load t (Hierarchy.access t.hier ~now:(now t) ~write:false a);
+        Memory.load32_fast t.mem a
+      end
+  | _ ->
+      trace t false a;
+      charge_load t (Hierarchy.access t.hier ~now:(now t) ~write:false a);
+      Memory.load32 t.mem a
 
 let store32 t a v =
-  trace t true a;
-  charge_store t (Hierarchy.access t.hier ~now:(now t) ~write:true a);
-  Memory.store32 t.mem a v
+  match t.notify with
+  | None when !Fastpath.enabled ->
+      if t.no_tlb && Cache.mru_hit t.l1 ~write:true a then begin
+        t.cost.Cost.busy <- t.cost.Cost.busy + 1;
+        t.cost.Cost.store_stall <- t.cost.Cost.store_stall + (t.l1_hit_lat - 1);
+        Memory.store32_fast t.mem a v
+      end
+      else begin
+        charge_store t (Hierarchy.access t.hier ~now:(now t) ~write:true a);
+        Memory.store32_fast t.mem a v
+      end
+  | _ ->
+      trace t true a;
+      charge_store t (Hierarchy.access t.hier ~now:(now t) ~write:true a);
+      Memory.store32 t.mem a v
 
 let load32s t a =
-  trace t false a;
-  charge_load t (Hierarchy.access t.hier ~now:(now t) ~write:false a);
-  Memory.load32s t.mem a
+  match t.notify with
+  | None when !Fastpath.enabled ->
+      if t.no_tlb && Cache.mru_hit t.l1 ~write:false a then begin
+        t.cost.Cost.busy <- t.cost.Cost.busy + 1;
+        t.cost.Cost.load_stall <- t.cost.Cost.load_stall + (t.l1_hit_lat - 1);
+        Memory.load32s_fast t.mem a
+      end
+      else begin
+        charge_load t (Hierarchy.access t.hier ~now:(now t) ~write:false a);
+        Memory.load32s_fast t.mem a
+      end
+  | _ ->
+      trace t false a;
+      charge_load t (Hierarchy.access t.hier ~now:(now t) ~write:false a);
+      Memory.load32s t.mem a
 
 let loadf t a =
   trace t false a;

@@ -1,0 +1,289 @@
+(* The throughput engine's correctness contract: the fast path (MRU
+   block filters, allocation-free lookups, the monomorphic machine hit
+   path) must be invisible in every simulated number, and the parallel
+   experiment runner must reproduce serial results exactly. *)
+
+module M = Memsim
+module CC = Memsim.Cache_config
+module Cache = Memsim.Cache
+module Hierarchy = Memsim.Hierarchy
+module Machine = Memsim.Machine
+module OC = Olden.Common
+module J = Obs.Json
+
+let stats_tuple (s : Cache.stats) =
+  ( s.Cache.reads,
+    s.Cache.writes,
+    s.Cache.read_misses,
+    s.Cache.write_misses,
+    s.Cache.evictions,
+    s.Cache.writebacks,
+    s.Cache.prefetch_installs )
+
+(* ------------------------------------------------------------------ *)
+(* Differential: whole Olden benchmarks, fast path off vs on           *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything the simulator reports, as one comparable value.  Also
+   returns the L1 MRU filter hit count so the fast run can prove the
+   filter actually engaged (a filter that never fires would make the
+   differential test vacuous). *)
+let olden_fingerprint ~fast ~placement which =
+  M.Fastpath.with_mode fast (fun () ->
+      let ctx = OC.make_ctx placement in
+      let r =
+        match which with
+        | `Treeadd ->
+            Olden.Treeadd.run
+              ~params:{ Olden.Treeadd.levels = 10; passes = 2 }
+              ~ctx placement
+        | `Health ->
+            Olden.Health.run
+              ~params:
+                { Olden.Health.levels = 2; steps = 60; morph_interval = 15;
+                  seed = 7 }
+              ~ctx placement
+      in
+      let h = Machine.hierarchy ctx.OC.machine in
+      let fp =
+        ( r.OC.checksum,
+          r.OC.snapshot,
+          stats_tuple (Cache.stats (Hierarchy.l1 h)),
+          stats_tuple (Cache.stats (Hierarchy.l2 h)) )
+      in
+      (fp, Cache.mru_filter_hits (Hierarchy.l1 h)))
+
+let check_differential which placement () =
+  let fast, mru = olden_fingerprint ~fast:true ~placement which in
+  let slow, _ = olden_fingerprint ~fast:false ~placement which in
+  Alcotest.(check bool)
+    "cycles, misses, evictions and writebacks bit-identical" true (fast = slow);
+  Alcotest.(check bool) "MRU filter engaged" true (mru > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Properties: random streams, fast vs reference                       *)
+(* ------------------------------------------------------------------ *)
+
+let prop_cache_fast_equals_ref =
+  QCheck.Test.make ~count:100
+    ~name:"MRU-filtered cache access equals unmemoized reference"
+    QCheck.(list_of_size (Gen.int_range 1 300) (pair (int_bound 2047) bool))
+    (fun ops ->
+      let cfg = CC.v ~name:"p" ~sets:4 ~assoc:2 ~block_bytes:16 () in
+      let cf = Cache.create cfg in
+      let cr = Cache.create cfg in
+      let agree =
+        List.for_all
+          (fun (a, write) ->
+            let addr = a * 4 in
+            M.Fastpath.with_mode true (fun () -> Cache.access cf ~write addr)
+            = M.Fastpath.with_mode false (fun () ->
+                  Cache.access cr ~write addr))
+          ops
+      in
+      agree && stats_tuple (Cache.stats cf) = stats_tuple (Cache.stats cr))
+
+let prop_machine_fast_equals_ref =
+  QCheck.Test.make ~count:60
+    ~name:"machine load/store fast path equals reference path"
+    QCheck.(
+      list_of_size (Gen.int_range 1 200)
+        (triple (int_bound 1023) bool (int_bound 65535)))
+    (fun ops ->
+      let run fast =
+        M.Fastpath.with_mode fast (fun () ->
+            let m = Machine.create (M.Config.tiny ()) in
+            let base = Machine.reserve m ~bytes:4096 ~align:64 in
+            let vals =
+              List.map
+                (fun (a, store, v) ->
+                  let addr = base + (a / 4 * 4) in
+                  if store then begin
+                    Machine.store32 m addr v;
+                    -1
+                  end
+                  else Machine.load32 m addr)
+                ops
+            in
+            let h = Machine.hierarchy m in
+            ( vals,
+              Machine.cycles m,
+              stats_tuple (Cache.stats (Hierarchy.l1 h)),
+              stats_tuple (Cache.stats (Hierarchy.l2 h)) ))
+      in
+      run true = run false)
+
+let test_mru_filter_counts () =
+  let c = Cache.create (CC.v ~name:"m" ~sets:4 ~assoc:2 ~block_bytes:16 ()) in
+  M.Fastpath.with_mode true (fun () ->
+      (* miss installs the block and primes the memo; the next three
+         same-block accesses are pure filter hits *)
+      ignore (Cache.access c ~write:false 0);
+      ignore (Cache.access c ~write:false 4);
+      ignore (Cache.access c ~write:false 8);
+      ignore (Cache.access c ~write:true 12));
+  Alcotest.(check int) "filter hits" 3 (Cache.mru_filter_hits c);
+  Alcotest.(check int) "demand accesses still counted" 4
+    (Cache.accesses (Cache.stats c))
+
+(* ------------------------------------------------------------------ *)
+(* Machine.subscribe: O(1) prepend, stable observer order              *)
+(* ------------------------------------------------------------------ *)
+
+let test_subscription_order () =
+  let m = Machine.create (M.Config.tiny ()) in
+  let base = Machine.reserve m ~bytes:64 ~align:64 in
+  let fired = ref [] in
+  let obs tag = fun _write _addr -> fired := tag :: !fired in
+  let _s1 = Machine.subscribe m (obs 1) in
+  let s2 = Machine.subscribe m (obs 2) in
+  let _s3 = Machine.subscribe m (obs 3) in
+  ignore (Machine.load32 m base);
+  Alcotest.(check (list int))
+    "observers fire in subscription order" [ 1; 2; 3 ] (List.rev !fired);
+  fired := [];
+  Machine.unsubscribe m s2;
+  ignore (Machine.load32 m base);
+  Alcotest.(check (list int))
+    "order stable after unsubscribing the middle observer" [ 1; 3 ]
+    (List.rev !fired)
+
+(* ------------------------------------------------------------------ *)
+(* MSHR table: fixed slots, deterministic drain, demand absorption     *)
+(* ------------------------------------------------------------------ *)
+
+let small_hier mshrs =
+  Hierarchy.create ~mshrs
+    ~l1:(CC.v ~name:"l1" ~sets:4 ~assoc:1 ~block_bytes:16 ())
+    ~l2:(CC.v ~name:"l2" ~sets:8 ~assoc:2 ~block_bytes:16 ())
+    ~latencies:{ Hierarchy.l1_hit = 1; l1_miss = 9; l2_miss = 60 }
+    ()
+
+let test_mshr_table () =
+  let h = small_hier 2 in
+  Hierarchy.prefetch h ~now:0 0x1000;
+  Hierarchy.prefetch h ~now:0 0x2000;
+  Alcotest.(check int) "both slots in flight" 2 (Hierarchy.pending_prefetches h);
+  (* table full and neither fill complete: the third request is dropped *)
+  Hierarchy.prefetch h ~now:0 0x3000;
+  Alcotest.(check int) "still two" 2 (Hierarchy.pending_prefetches h);
+  Alcotest.(check int) "drop counted" 1 (Hierarchy.sw_prefetches_dropped h);
+  (* much later both fills are complete; scheduling drains them first *)
+  Hierarchy.prefetch h ~now:1000 0x4000;
+  Alcotest.(check int) "drained then refilled" 1
+    (Hierarchy.pending_prefetches h);
+  Alcotest.(check bool) "drained block installed in L2" true
+    (Cache.probe (Hierarchy.l2 h) 0x1000);
+  (* a demand access absorbs an in-flight fill: latency is capped by the
+     remaining time, never worse than a plain miss *)
+  Hierarchy.prefetch h ~now:1500 0x5000;
+  let lat = Hierarchy.access h ~now:1510 ~write:false 0x5000 in
+  Alcotest.(check int) "absorbed latency 1+9+min(59,60)" 69 lat;
+  let consumed, saved = Hierarchy.prefetches_consumed h in
+  Alcotest.(check int) "consumed" 1 consumed;
+  Alcotest.(check int) "cycles saved" 1 saved
+
+(* ------------------------------------------------------------------ *)
+(* Parallel runner                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let toy_jobs =
+  List.init 5 (fun i ->
+      ( "job" ^ string_of_int i,
+        fun () -> J.Obj [ ("i", J.Int i); ("sq", J.Int (i * i)) ] ))
+
+let test_parallel_matches_serial () =
+  let serial = Harness.Parallel.run_serial toy_jobs in
+  let par = Harness.Parallel.run_jobs ~parallel:true toy_jobs in
+  Alcotest.(check bool) "same names, same payloads, same order" true
+    (List.for_all2
+       (fun (n1, j1) (n2, j2) -> n1 = n2 && J.equal j1 j2)
+       serial par)
+
+let test_parallel_error_propagates () =
+  let jobs =
+    [ ("ok", fun () -> J.Int 1); ("bad", fun () -> failwith "boom") ]
+  in
+  match Harness.Parallel.run_jobs ~parallel:true jobs with
+  | _ -> Alcotest.fail "expected the child's failure to propagate"
+  | exception Failure msg ->
+      let contains sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "names the job" true (contains "bad" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Arm payload codec                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fake_result =
+  {
+    OC.r_label = "Cl+Col";
+    checksum = 424242;
+    snapshot =
+      {
+        M.Cost.s_busy = 100;
+        s_load_stall = 40;
+        s_store_stall = 10;
+        s_prefetch_issue = 2;
+        s_total = 152;
+      };
+    l1_miss_rate = 0.125;
+    l2_miss_rate = 0.5;
+    l2_misses_per_ref = 0.0625;
+    memory_bytes = 8192;
+    structures_bytes = 6144;
+  }
+
+let test_arm_payload_roundtrip () =
+  let rec_json = J.Obj [ ("color_frac", J.Float 0.25) ] in
+  let arm =
+    {
+      Harness.Adaptive.arm_label = "static";
+      arm_result = fake_result;
+      arm_advisor = None;
+      arm_policy = None;
+    }
+  in
+  let arm', rec' =
+    Harness.Adaptive.arm_of_payload
+      (Harness.Adaptive.arm_payload arm ~recommendation:(Some rec_json))
+  in
+  Alcotest.(check bool) "arm survives" true (arm = arm');
+  Alcotest.(check bool) "recommendation survives" true
+    (match rec' with Some j -> J.equal j rec_json | None -> false);
+  (* and with no recommendation attached *)
+  let arm'', rec'' =
+    Harness.Adaptive.arm_of_payload
+      (Harness.Adaptive.arm_payload arm ~recommendation:None)
+  in
+  Alcotest.(check bool) "None round-trips" true (arm = arm'' && rec'' = None)
+
+let tests =
+  [
+    ( "fastpath",
+      [
+        Alcotest.test_case "differential treeadd (base)" `Quick
+          (check_differential `Treeadd OC.Base);
+        Alcotest.test_case "differential treeadd (cluster+color)" `Quick
+          (check_differential `Treeadd OC.Ccmorph_cluster_color);
+        Alcotest.test_case "differential health (base)" `Quick
+          (check_differential `Health OC.Base);
+        Alcotest.test_case "differential health (cluster+color)" `Quick
+          (check_differential `Health OC.Ccmorph_cluster_color);
+        Alcotest.test_case "MRU filter hit accounting" `Quick
+          test_mru_filter_counts;
+        Alcotest.test_case "subscription order" `Quick test_subscription_order;
+        Alcotest.test_case "MSHR fixed-slot table" `Quick test_mshr_table;
+        Alcotest.test_case "parallel runner matches serial" `Quick
+          test_parallel_matches_serial;
+        Alcotest.test_case "parallel runner propagates errors" `Quick
+          test_parallel_error_propagates;
+        Alcotest.test_case "arm payload round-trip" `Quick
+          test_arm_payload_roundtrip;
+        QCheck_alcotest.to_alcotest prop_cache_fast_equals_ref;
+        QCheck_alcotest.to_alcotest prop_machine_fast_equals_ref;
+      ] );
+  ]
