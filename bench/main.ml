@@ -280,5 +280,21 @@ let () =
     Obs.Export.write_file file
       (Obs.Export.envelope ~experiment:"simbench"
          (Harness.Simbench.to_json simspeed));
+    Printf.printf "wrote %s\n%!" file;
+    print_endline "=== Layout-engine shootout (multi-level) ===";
+    let shootout =
+      List.filter_map
+        (fun b ->
+          match Harness.Layout_shootout.run ~scale ?seed b with
+          | Some r ->
+              Format.printf "%a@." Harness.Layout_shootout.pp r;
+              Some (b, Harness.Layout_shootout.to_json r)
+          | None -> None)
+        [ "micro"; "treeadd" ]
+    in
+    let file = "BENCH_layout.json" in
+    Obs.Export.write_file file
+      (Obs.Export.envelope ~experiment:"layout" ~scale:scale_name ?seed
+         (Obs.Json.Obj shootout));
     Printf.printf "wrote %s\n%!" file
   end

@@ -306,6 +306,71 @@ let simbench_cmd =
     Term.(const run_simbench $ n_term $ json_term)
 
 (* ------------------------------------------------------------------ *)
+(* layout subcommand (multi-level layout-engine shootout)              *)
+(* ------------------------------------------------------------------ *)
+
+let run_layout bench paper seed parallel json_file =
+  let scale = scale_of paper in
+  match Harness.Layout_shootout.run ~scale ?seed ~parallel bench with
+  | None ->
+      Format.eprintf "unknown workload %S (expected %s)@." bench
+        (String.concat ", " Harness.Layout_shootout.names);
+      exit 2
+  | Some report -> (
+      Format.printf "%a@." Harness.Layout_shootout.pp report;
+      match json_file with
+      | None -> ()
+      | Some file ->
+          Obs.Export.write_file file
+            (Obs.Export.envelope
+               ~experiment:("layout-" ^ bench)
+               ~scale:(Harness.Experiments.scale_name scale)
+               ?seed
+               (Harness.Layout_shootout.to_json report));
+          Format.printf "wrote %s@." file)
+
+let layout_cmd =
+  let bench_term =
+    let doc =
+      "Workload to race the engines on: $(b,micro) (the Figure 5 tree \
+       search benchmark with the TLB modeled), $(b,health) or \
+       $(b,treeadd)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let json_term =
+    let doc =
+      "Also write the shootout's per-level results as versioned JSON to \
+       $(docv) (default $(b,layout.json) when the flag is given bare)."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "layout.json") (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let parallel_term =
+    let doc =
+      "Run the engines as concurrent forked jobs (JSON-over-pipe); \
+       results, including the JSON export, are byte-identical to a \
+       serial run."
+    in
+    Arg.(value & flag & info [ "parallel" ] ~doc)
+  in
+  let doc =
+    "Race every layout engine — the paper's subtree and depth-first \
+     schemes, recursive van Emde Boas, and the profile-weighted engine \
+     — on one workload, reporting per-level results: L1 misses, L2 \
+     misses, TLB misses and cycles.  The multilevel view is what \
+     distinguishes a cache-oblivious layout from the paper's L2-only \
+     clustering."
+  in
+  Cmd.v
+    (Cmd.info "layout" ~doc)
+    Term.(
+      const run_layout $ bench_term $ scale_term $ seed_term $ parallel_term
+      $ json_term)
+
+(* ------------------------------------------------------------------ *)
 (* lint subcommand                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -381,7 +446,7 @@ let cmd =
   in
   Cmd.group ~default:run_term
     (Cmd.info "ccsl-cli" ~version:"1.0.0" ~doc ~man)
-    (profile_cmd :: lint_cmd :: run_cmd :: simbench_cmd
+    (profile_cmd :: lint_cmd :: run_cmd :: layout_cmd :: simbench_cmd
     :: List.map experiment_cmd
          (Harness.Experiments.names @ [ "ablations"; "all" ]))
 

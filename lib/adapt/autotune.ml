@@ -15,12 +15,27 @@ type recommendation = {
   rec_candidates : candidate list;
 }
 
-let cluster_name = function
-  | Ccsl.Ccmorph.Subtree -> "subtree"
-  | Ccsl.Ccmorph.Depth_first -> "depth_first"
+let cluster_name = Ccsl.Ccmorph.scheme_name
+
+(* Spatial-locality factor K of each engine, for ranking schemes inside
+   the Section 5 steady-state model (higher K, lower miss rate).  The
+   weighted engine without a profile behaves like a random descent
+   (p = 1/2), exactly the depth-first form. *)
+let scheme_k ~block_elems scheme =
+  match Ccsl.Ccmorph.scheme_name scheme with
+  | "depth_first" -> Ccsl.Clustering.expected_accesses_depth_first ~k:block_elems
+  | "weighted" ->
+      Ccsl.Clustering.expected_accesses_weighted ~k:block_elems ~p:0.5
+  | _ -> Ccsl.Model.Ctree.k ~block_elems
 
 let default_color_fracs = [ 0.25; 0.5; 0.75 ]
-let default_clusters = [ Ccsl.Ccmorph.Subtree; Ccsl.Ccmorph.Depth_first ]
+
+let default_clusters =
+  [
+    Ccsl.Ccmorph.Subtree;
+    Ccsl.Ccmorph.Depth_first;
+    Ccsl.Ccmorph.Engine Layout.Engine.veb;
+  ]
 
 let default_strategies =
   [ Ccsl.Ccmalloc.New_block; Ccsl.Ccmalloc.Closest; Ccsl.Ccmalloc.First_fit ]
@@ -30,20 +45,21 @@ let search ?(color_fracs = default_color_fracs) ?(clusters = default_clusters)
     () =
   if color_fracs = [] || clusters = [] || strategies = [] then
     invalid_arg "Autotune.search: empty candidate axis";
-  let model cf =
-    Ccsl.Model.Ctree.miss_rate ~n ~sets ~assoc ~block_elems ~color_frac:cf
+  let model_for cl cf =
+    Ccsl.Model.Ctree.miss_rate_k ~n ~sets ~assoc ~block_elems ~color_frac:cf
+      ~k:(scheme_k ~block_elems cl)
   in
   (* model first: rank the coloring fractions analytically, then spend
      the (much more expensive) simulated validation runs on the color
      sweep plus the cluster x strategy cross for the model's winner *)
+  let lead_cluster = List.hd clusters in
+  let lead_strategy = List.hd strategies in
   let ranked =
     List.sort
       (fun (_, a) (_, b) -> compare a b)
-      (List.map (fun cf -> (cf, model cf)) color_fracs)
+      (List.map (fun cf -> (cf, model_for lead_cluster cf)) color_fracs)
   in
   let best_cf, _ = List.hd ranked in
-  let lead_cluster = List.hd clusters in
-  let lead_strategy = List.hd strategies in
   let cands =
     List.map
       (fun (cf, m) ->
@@ -59,14 +75,20 @@ let search ?(color_fracs = default_color_fracs) ?(clusters = default_clusters)
         (fun cl ->
           List.filter_map
             (fun st ->
-              if cl = lead_cluster && st = lead_strategy then None
+              (* compare schemes by name: [Engine] carries closures, so
+                 structural (=) on cluster_scheme can raise *)
+              if
+                Ccsl.Ccmorph.scheme_name cl
+                = Ccsl.Ccmorph.scheme_name lead_cluster
+                && st = lead_strategy
+              then None
               else
                 Some
                   {
                     cand_color_frac = best_cf;
                     cand_cluster = cl;
                     cand_strategy = st;
-                    cand_model_miss = model best_cf;
+                    cand_model_miss = model_for cl best_cf;
                     cand_cycles = None;
                   })
             strategies)

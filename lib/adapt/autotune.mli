@@ -41,11 +41,20 @@ val search :
   block_elems:int ->
   unit ->
   recommendation
-(** Defaults: [color_fracs = [0.25; 0.5; 0.75]], both clustering
-    schemes, all three strategies.  [n], [sets], [assoc] and
-    [block_elems] feed the model.  [validate] runs one short simulated
-    experiment and returns its total cycles; omit it for a model-only
-    recommendation.  @raise Invalid_argument on an empty axis. *)
+(** Defaults: [color_fracs = [0.25; 0.5; 0.75]], the paper's two
+    clustering schemes plus the cache-oblivious vEB engine
+    ([Engine Layout.Engine.veb]), all three strategies.  [n], [sets],
+    [assoc] and [block_elems] feed the model; each scheme is modeled
+    with its own spatial-locality factor ({!scheme_k}).  [validate] runs
+    one short simulated experiment and returns its total cycles; omit it
+    for a model-only recommendation.
+    @raise Invalid_argument on an empty axis. *)
+
+val scheme_k : block_elems:int -> Ccsl.Ccmorph.cluster_scheme -> float
+(** The Section 5 [K] (expected same-block elements used per entered
+    block) the model assigns a scheme: [log2 (k+1)] for subtree/vEB,
+    the geometric forms from {!Ccsl.Clustering} for depth-first and
+    (unprofiled) weighted. *)
 
 val morph_params : recommendation -> Ccsl.Ccmorph.params
 (** The recommendation as ready-to-use [ccmorph] parameters. *)

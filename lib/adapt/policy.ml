@@ -86,11 +86,13 @@ let detach t =
 
 let set_target_rate t r = t.target <- Some r
 
-let set_model_target t ~n ~block_elems ~color_frac =
+let set_model_target ?(scheme = Ccsl.Ccmorph.Subtree) t ~n ~block_elems
+    ~color_frac =
   let l2 = (Machine.config t.m).Memsim.Config.l2 in
   let ms =
-    Ccsl.Model.Ctree.miss_rate ~n ~sets:l2.Memsim.Cache_config.sets
+    Ccsl.Model.Ctree.miss_rate_k ~n ~sets:l2.Memsim.Cache_config.sets
       ~assoc:l2.Memsim.Cache_config.assoc ~block_elems ~color_frac
+      ~k:(Autotune.scheme_k ~block_elems scheme)
   in
   t.target <- Some ms
 

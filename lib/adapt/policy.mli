@@ -45,9 +45,15 @@ val attach : t -> unit
 
 val detach : t -> unit
 
-val set_model_target : t -> n:int -> block_elems:int -> color_frac:float -> unit
+val set_model_target :
+  ?scheme:Ccsl.Ccmorph.cluster_scheme ->
+  t -> n:int -> block_elems:int -> color_frac:float -> unit
 (** Set the achievability floor to the Section 5 model's steady-state
-    miss rate for an [n]-element tree on this machine's L2. *)
+    miss rate for an [n]-element tree on this machine's L2, using the
+    spatial-locality factor of the layout engine the structure is
+    actually morphed with ({!Autotune.scheme_k}; default [Subtree]) —
+    a depth-first layout should not be held to the subtree model's
+    tighter floor. *)
 
 val set_target_rate : t -> float -> unit
 (** Set the floor directly (structures the tree model does not fit).

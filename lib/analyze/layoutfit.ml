@@ -1,0 +1,65 @@
+module Cache = Memsim.Cache
+module Hierarchy = Memsim.Hierarchy
+
+(* Which levels a scheme's plan already serves.  vEB packs every
+   granularity at once; plan-order engines (vEB, weighted) emit their
+   blocks in plan order, so their page layout is as good as the plan —
+   only the dfs-reordering engines depend on [page_aware] for the
+   TLB. *)
+let optimizes_l1 ~scheme ~l1_block_bytes ~l2_block_bytes =
+  l1_block_bytes >= l2_block_bytes || scheme = "veb"
+
+let optimizes_tlb ~scheme ~page_aware =
+  page_aware || scheme = "veb" || scheme = "weighted"
+
+let check ~struct_id ~scheme ~page_aware ~l1_block_bytes ~l2_block_bytes ~lat
+    ~tlb_penalty ~(stats : Hierarchy.stats) =
+  let l1_stall =
+    Cache.misses stats.Hierarchy.h_l1 * lat.Hierarchy.l1_miss
+  in
+  let l2_stall =
+    Cache.misses stats.Hierarchy.h_l2 * lat.Hierarchy.l2_miss
+  in
+  let tlb_stall =
+    match (stats.Hierarchy.h_tlb, tlb_penalty) with
+    | Some s, Some p -> s.Memsim.Tlb.t_misses * p
+    | _ -> 0
+  in
+  let total = l1_stall + l2_stall + tlb_stall in
+  if total = 0 then []
+  else
+    let share x = float_of_int x /. float_of_int total in
+    let dominant, dom_stall, fires, advice =
+      if l1_stall >= l2_stall && l1_stall >= tlb_stall then
+        ( "L1",
+          l1_stall,
+          not (optimizes_l1 ~scheme ~l1_block_bytes ~l2_block_bytes),
+          "the veb engine packs L1-block-sized subtrees too" )
+      else if tlb_stall >= l2_stall then
+        ( "TLB",
+          tlb_stall,
+          not (optimizes_tlb ~scheme ~page_aware),
+          "enable page_aware cold emission or use the veb engine" )
+      else
+        (* every engine packs for the L2 block: an L2-dominated profile
+           is the fit the scheme was chosen for *)
+        ("L2", l2_stall, false, "")
+    in
+    if (not fires) || share dom_stall < 0.5 then []
+    else
+      [
+        Diag.v ~rule:"layout/layout-mismatch" Diag.Info
+          ~subject:(Diag.Structure struct_id)
+          ~evidence:
+            [
+              ("l1_stall_cycles", float_of_int l1_stall);
+              ("l2_stall_cycles", float_of_int l2_stall);
+              ("tlb_stall_cycles", float_of_int tlb_stall);
+              ("dominant_share", share dom_stall);
+            ]
+          (Printf.sprintf
+             "%.0f%% of stall cycles are %s misses, which the '%s' engine \
+              does not optimize; %s"
+             (100. *. share dom_stall)
+             dominant scheme advice);
+      ]

@@ -1,0 +1,42 @@
+(** Layout/miss-profile fit check.
+
+    Clustering as the paper defines it optimizes exactly one level of
+    the hierarchy: the L2 block the plan was packed for.  With the
+    pluggable engines of {!Layout} that choice became explicit — a vEB
+    plan also serves the L1 block and the VM page, page-aware cold
+    emission serves the TLB, while plain subtree or depth-first plans
+    serve neither.  This pass cross-checks the choice against the run's
+    measured per-level stall profile: if most of the memory stall cycles
+    a morphed structure's run paid came from a level its engine does not
+    optimize, the engine was mis-picked, and the diagnostic says which
+    engine (or flag) addresses the dominant level.
+
+    One rule, always advisory:
+
+    - [layout/layout-mismatch] (Info): the run's stall cycles are
+      dominated (≥ 50%) by L1 or TLB misses while the structure was
+      morphed with an engine blind to that level.  L2-dominated runs
+      never fire — every engine packs for the L2 block.  Machines whose
+      L1 and L2 share a block size (the RSIM Table 1 configuration)
+      cannot have an L1 mismatch; machines without a TLB model cannot
+      have a TLB one.
+
+    The stall attribution is machine-wide, not per structure; like the
+    other lint passes this is a screening heuristic, not accounting. *)
+
+val check :
+  struct_id:string ->
+  scheme:string ->
+  page_aware:bool ->
+  l1_block_bytes:int ->
+  l2_block_bytes:int ->
+  lat:Memsim.Hierarchy.latencies ->
+  tlb_penalty:int option ->
+  stats:Memsim.Hierarchy.stats ->
+  Diag.t list
+(** Pure: attribute stall cycles to L1 ([l1_misses * lat.l1_miss]), L2
+    ([l2_misses * lat.l2_miss]) and TLB ([t_misses * penalty]), find the
+    dominant level, and report when it holds at least half the stall and
+    the named [scheme] does not optimize it.  [scheme] is a
+    {!Ccsl.Ccmorph.scheme_name}; [tlb_penalty] is [None] when the
+    machine models no TLB. *)

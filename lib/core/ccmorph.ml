@@ -12,7 +12,17 @@ type desc = {
 let plain_desc ~elem_bytes ~kid_offsets =
   { elem_bytes; kid_offsets; parent_offset = None; kid_filter = None }
 
-type cluster_scheme = Subtree | Depth_first
+type cluster_scheme =
+  | Subtree
+  | Depth_first
+  | Engine of Layout.Engine.t
+
+let engine_of_scheme = function
+  | Subtree -> Layout.Engine.subtree
+  | Depth_first -> Layout.Engine.depth_first
+  | Engine e -> e
+
+let scheme_name s = (engine_of_scheme s).Layout.Engine.name
 
 type params = {
   cluster : cluster_scheme;
@@ -20,6 +30,7 @@ type params = {
   color_frac : float;
   color_first_set : int;
   page_aware : bool;
+  weights : (Memsim.Addr.t -> float) option;
 }
 
 let default_params =
@@ -29,7 +40,10 @@ let default_params =
     color_frac = 0.5;
     color_first_set = 0;
     page_aware = true;
+    weights = None;
   }
+
+let debug_check_plans = ref false
 
 type result = {
   new_root : Memsim.Addr.t;
@@ -134,18 +148,6 @@ let discover m desc roots =
   let kids = Array.of_list (List.rev !kids_rev) in
   (addrs, images, kids, index_of)
 
-let dfs_order kids root_ids n =
-  let order = Array.make n (-1) in
-  let pos = ref 0 in
-  let rec go v =
-    order.(!pos) <- v;
-    incr pos;
-    List.iter go kids.(v)
-  in
-  List.iter go root_ids;
-  if !pos <> n then invalid_arg "Ccmorph: dfs_order incomplete";
-  order
-
 let do_morph ?session params m desc roots =
   let block_bytes = Machine.l2_block_bytes m in
   if desc.elem_bytes > block_bytes then
@@ -170,12 +172,17 @@ let do_morph ?session params m desc roots =
       |> List.filter_map (fun r ->
              if A.is_null r then None else Some (Hashtbl.find index_of r))
     in
-    let plan =
-      match params.cluster with
-      | Subtree ->
-          Clustering.subtree ~n ~kids:(fun v -> kids.(v)) ~roots:root_ids ~k
-      | Depth_first -> Clustering.linear ~n ~order:(dfs_order kids root_ids n) ~k
+    let engine = engine_of_scheme params.cluster in
+    let tree =
+      Layout.Tree.v
+        ?weight:
+          (Option.map (fun f v -> f old_addrs.(v)) params.weights)
+        ~n
+        ~kids:(fun v -> kids.(v))
+        ~roots:root_ids ()
     in
+    let plan = engine.Layout.Engine.plan tree ~k in
+    if !debug_check_plans then Layout.Plan.check plan ~n ~k;
     let nblocks = Array.length plan.Clustering.blocks in
     (* Address-assignment order: the plan emits blocks breadth-first
        (nearest the root first), which is what coloring wants for its hot
@@ -277,20 +284,25 @@ let do_morph ?session params m desc roots =
           in
           fun _ -> take cold_avail fresh cold_used
     in
-    (* Assign block base addresses: the breadth-first hot prefix first,
-       then the cold blocks in depth-first first-visit order. *)
+    (* Assign block base addresses: the plan's hot prefix first, then
+       the cold blocks in the page order the engine asked for.  Engines
+       whose plan order is already the intended page order (vEB's
+       recursive subdivision, weighted's hottest-first chains) declare
+       [Plan_order] — re-sorting those by dfs first-visit would destroy
+       the very locality they computed. *)
     let block_base = Array.make nblocks A.null in
     for j = 0 to hot_cap - 1 do
       block_base.(j) <- block_addr j
     done;
-    if params.page_aware then
-      Array.iter
-        (fun j -> if j >= hot_cap then block_base.(j) <- block_addr j)
-        dfs_block_order
-    else
-      for j = hot_cap to nblocks - 1 do
-        block_base.(j) <- block_addr j
-      done;
+    (match (engine.Layout.Engine.cold_order, params.page_aware) with
+    | Layout.Engine.Dfs_first_visit, true ->
+        Array.iter
+          (fun j -> if j >= hot_cap then block_base.(j) <- block_addr j)
+          dfs_block_order
+    | Layout.Engine.Plan_order, _ | Layout.Engine.Dfs_first_visit, false ->
+        for j = hot_cap to nblocks - 1 do
+          block_base.(j) <- block_addr j
+        done);
     (* Copy nodes block by block; new addresses pack elements tightly
        within each block and never straddle it. *)
     let new_addrs = Array.make n A.null in

@@ -39,6 +39,19 @@ val plain_desc : elem_bytes:int -> kid_offsets:int array -> desc
 type cluster_scheme =
   | Subtree  (** the paper's scheme: pack k-node subtrees per block *)
   | Depth_first  (** baseline: chunk a depth-first traversal *)
+  | Engine of Layout.Engine.t
+      (** any pluggable layout engine; [Subtree] and [Depth_first] are
+          aliases for [Engine Layout.Engine.subtree] and
+          [Engine Layout.Engine.depth_first] *)
+
+val engine_of_scheme : cluster_scheme -> Layout.Engine.t
+(** The engine a scheme resolves to ([Subtree]/[Depth_first] map to the
+    built-in engines of the same name). *)
+
+val scheme_name : cluster_scheme -> string
+(** Stable name of the scheme's engine ("subtree", "depth_first",
+    "veb", ...).  Use this for comparisons and serialization: comparing
+    [cluster_scheme] values with [(=)] raises on [Engine] (closures). *)
 
 type params = {
   cluster : cluster_scheme;
@@ -50,12 +63,25 @@ type params = {
   page_aware : bool;
       (** emit cold blocks in depth-first first-visit order so pointer
           paths stay on few pages (default true; disable to measure the
-          TLB contribution) *)
+          TLB contribution).  Engines that declare
+          [Layout.Engine.Plan_order] already emit blocks in their
+          intended page order, so this flag does not reorder them. *)
+  weights : (Memsim.Addr.t -> float) option;
+      (** per-element access weight keyed by the element's {e current}
+          (pre-morph) address — e.g. [Obs.Profile.Counts.weight_fn] —
+          consumed by weight-aware engines such as
+          [Layout.Engine.weighted]; [None] means uniform *)
 }
 
 val default_params : params
 (** [Subtree] clustering with coloring, [color_frac = 0.5],
-    [color_first_set = 0], [page_aware = true]. *)
+    [color_first_set = 0], [page_aware = true], no weights. *)
+
+val debug_check_plans : bool ref
+(** When set, every morph validates its engine's plan with
+    {!Layout.check_plan} before copying, so a buggy engine fails loudly
+    instead of silently misplacing elements.  Default [false] (the
+    check is O(n) extra untimed work per morph). *)
 
 type result = {
   new_root : Memsim.Addr.t;

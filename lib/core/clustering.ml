@@ -1,112 +1,29 @@
-type plan = { blocks : int array array; block_of_node : int array }
+(* The planning algorithms moved to the pluggable lib/layout subsystem;
+   this module keeps the paper-facing API (and the Section 5 closed
+   forms) and re-exports the plan type with an equation so every
+   existing consumer keeps compiling. *)
+
+type plan = Layout.Plan.t = {
+  blocks : int array array;
+  block_of_node : int array;
+}
 
 let subtree ~n ~kids ~roots ~k =
-  if k < 1 then invalid_arg "Clustering.subtree: k < 1";
-  let seen = Array.make n false in
-  let blocks = ref [] in
-  let nblocks = ref 0 in
-  (* FIFO queue of cluster roots, seeded with the structure roots. *)
-  let cluster_roots = Queue.create () in
-  List.iter (fun r -> Queue.add r cluster_roots) roots;
-  while not (Queue.is_empty cluster_roots) do
-    let root = Queue.pop cluster_roots in
-    if root < 0 || root >= n then
-      invalid_arg "Clustering.subtree: node id out of range";
-    if seen.(root) then invalid_arg "Clustering.subtree: node reached twice";
-    (* BFS within the subtree, taking up to k nodes for this block. *)
-    let members = ref [] in
-    let count = ref 0 in
-    let frontier = Queue.create () in
-    Queue.add root frontier;
-    while !count < k && not (Queue.is_empty frontier) do
-      let v = Queue.pop frontier in
-      if seen.(v) then invalid_arg "Clustering.subtree: node reached twice";
-      seen.(v) <- true;
-      members := v :: !members;
-      incr count;
-      List.iter (fun c -> Queue.add c frontier) (kids v)
-    done;
-    (* Whatever remains on the frontier starts future clusters. *)
-    Queue.iter (fun v -> Queue.add v cluster_roots) frontier;
-    blocks := Array.of_list (List.rev !members) :: !blocks;
-    incr nblocks
-  done;
-  (* Consecutive clusters smaller than k share a block: deep in the
-     structure subtrees run out of descendants (leaves cluster alone) and
-     forest roots may head short chains; packing them in emission order
-     preserves the near-root-first property while restoring density. *)
-  let blocks =
-    List.fold_left
-      (fun acc cluster ->
-        match acc with
-        | prev :: rest when Array.length prev + Array.length cluster <= k ->
-            Array.append prev cluster :: rest
-        | _ -> cluster :: acc)
-      []
-      (List.rev !blocks)
-    |> List.rev
-  in
-  Array.iteri
-    (fun i s ->
-      if not s then
-        invalid_arg
-          (Printf.sprintf "Clustering.subtree: node %d unreachable from roots"
-             i))
-    seen;
-  let blocks = Array.of_list blocks in
-  let block_of_node = Array.make n (-1) in
-  Array.iteri
-    (fun j nodes -> Array.iter (fun v -> block_of_node.(v) <- j) nodes)
-    blocks;
-  { blocks; block_of_node }
+  Layout.Subtree.plan (Layout.Tree.v ~n ~kids ~roots ()) ~k
 
-let linear ~n ~order ~k =
-  if k < 1 then invalid_arg "Clustering.linear: k < 1";
-  if Array.length order <> n then
-    invalid_arg "Clustering.linear: order must cover all nodes";
-  let nblocks = (n + k - 1) / k in
-  let blocks =
-    Array.init nblocks (fun j ->
-        Array.sub order (j * k) (min k (n - (j * k))))
-  in
-  let block_of_node = Array.make n (-1) in
-  Array.iteri
-    (fun j nodes -> Array.iter (fun v -> block_of_node.(v) <- j) nodes)
-    blocks;
-  let seen = Array.make n false in
-  Array.iter
-    (fun v ->
-      if v < 0 || v >= n || seen.(v) then
-        invalid_arg "Clustering.linear: order is not a permutation";
-      seen.(v) <- true)
-    order;
-  { blocks; block_of_node }
+let linear ~n ~order ~k = Layout.Plan.chunk ~n ~order ~k
 
 let expected_accesses_subtree ~k = log (float_of_int (k + 1)) /. log 2.
 
 let expected_accesses_depth_first ~k =
   2. *. (1. -. (0.5 ** float_of_int k))
 
-let check plan ~n ~k =
-  let seen = Array.make n false in
-  Array.iter
-    (fun nodes ->
-      if Array.length nodes > k then failwith "Clustering.check: block too big";
-      if Array.length nodes = 0 then failwith "Clustering.check: empty block";
-      Array.iter
-        (fun v ->
-          if v < 0 || v >= n then failwith "Clustering.check: bad node id";
-          if seen.(v) then failwith "Clustering.check: node in two blocks";
-          seen.(v) <- true)
-        nodes)
-    plan.blocks;
-  Array.iteri
-    (fun i s -> if not s then failwith (Printf.sprintf "node %d unplaced" i))
-    seen;
-  Array.iteri
-    (fun v j ->
-      if j < 0 || j >= Array.length plan.blocks then
-        failwith "Clustering.check: bad block index";
-      if not (Array.exists (fun w -> w = v) plan.blocks.(j)) then
-        failwith "Clustering.check: inverse mapping wrong")
-    plan.block_of_node
+let expected_accesses_veb ~k = expected_accesses_subtree ~k
+
+let expected_accesses_weighted ~k ~p =
+  if p < 0. || p > 1. then
+    invalid_arg "Clustering.expected_accesses_weighted: p outside [0, 1]";
+  if p >= 1. then float_of_int k
+  else (1. -. (p ** float_of_int k)) /. (1. -. p)
+
+let check plan ~n ~k = Layout.Plan.check plan ~n ~k

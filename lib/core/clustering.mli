@@ -4,9 +4,15 @@
     planner works on an abstract tree: nodes are integers [0 .. n-1] and
     [kids i] lists the children of node [i].  The result assigns nodes to
     blocks of at most [k] elements, where [k = ⌊b/e⌋] is how many elements
-    fit in a cache block. *)
+    fit in a cache block.
 
-type plan = {
+    The algorithms themselves live in the pluggable [Layout] subsystem
+    ({!Layout.Engine}); [plan] is the same type as {!Layout.Plan.t} (a
+    type equation, so values flow both ways), and this module keeps the
+    paper's two schemes plus the Section 2.1/5 expected-access closed
+    forms for every built-in engine. *)
+
+type plan = Layout.Plan.t = {
   blocks : int array array;
       (** [blocks.(j)] lists the node ids sharing block [j], in layout
           order.  Every node appears in exactly one block. *)
@@ -20,14 +26,16 @@ val subtree : n:int -> kids:(int -> int list) -> roots:int list -> k:int -> plan
     are emitted in breadth-first order of cluster roots, so blocks nearer
     the structure root come first (this ordering is what {!Ccmorph}'s
     coloring relies on).  For a complete binary tree and [k = 3] each
-    block holds a parent and its two children.
+    block holds a parent and its two children.  Delegates to
+    {!Layout.Subtree}.
     @raise Invalid_argument if [k < 1] or the [roots] do not reach
     exactly the ids [0..n-1] without repetition. *)
 
 val linear : n:int -> order:int array -> k:int -> plan
 (** Chunk an explicit traversal order into consecutive [k]-element blocks;
     with a depth-first order this is the paper's "depth-first clustering"
-    baseline, and for lists it packs consecutive elements. *)
+    baseline, and for lists it packs consecutive elements.  Delegates to
+    {!Layout.Plan.chunk}. *)
 
 val expected_accesses_subtree : k:int -> float
 (** Expected number of accesses to a block per traversal through it under
@@ -39,5 +47,25 @@ val expected_accesses_depth_first : k:int -> float
     [sum_{i=0}^{k-1} (1/2)^i = 2 (1 - (1/2)^k)], which is < 2 for any
     [k] (Section 2.1). *)
 
+val expected_accesses_veb : k:int -> float
+(** Same for a block of the recursive van Emde Boas layout.  Within one
+    block the vEB order is itself a (recursively laid out) subtree of
+    the search tree, so a random search that enters the block resolves
+    [log2 (k+1)] comparisons before leaving it — the subtree bound — and
+    unlike subtree clustering the {e same} bound holds when [k] is the
+    page capacity instead of the cache-block capacity (the
+    cache-oblivious property; Lindstrom & Rajan). *)
+
+val expected_accesses_weighted : k:int -> p:float -> float
+(** Expected accesses per entered block for a hot-chain block of [k]
+    nodes when the profiled traversal follows the packed hottest child
+    with probability [p] at each step: [sum_{i=0}^{k-1} p^i
+    = (1 - p^k) / (1 - p)] (and [k] exactly when [p = 1]).  At
+    [p = 1/2] — an unprofiled random descent — this reduces to the
+    depth-first form, which is why the weighted engine needs a real
+    profile to win.
+    @raise Invalid_argument if [p] is outside [0, 1]. *)
+
 val check : plan -> n:int -> k:int -> unit
-(** Validates partition and size bounds. @raise Failure if broken. *)
+(** Validates partition and size bounds ({!Layout.check_plan}).
+    @raise Failure if broken. *)

@@ -37,11 +37,14 @@ module Ctree = struct
     log2
       ((color_frac *. float_of_int (sets * block_elems * assoc)) +. 1.)
 
-  let miss_rate ~n ~sets ~assoc ~block_elems ~color_frac =
+  let miss_rate_k ~n ~sets ~assoc ~block_elems ~color_frac ~k =
+    if k < 1. then invalid_arg "Model.Ctree.miss_rate_k: k < 1";
     let d = d ~n in
-    let k = k ~block_elems in
     let rs = Float.min d (r_s ~sets ~assoc ~block_elems ~color_frac) in
     Float.max 0. ((1. -. (rs /. d)) /. k)
+
+  let miss_rate ~n ~sets ~assoc ~block_elems ~color_frac =
+    miss_rate_k ~n ~sets ~assoc ~block_elems ~color_frac ~k:(k ~block_elems)
 
   let transient_miss_rate ~i ~n ~sets ~assoc ~block_elems ~color_frac =
     if i < 1 then invalid_arg "Model.Ctree.transient_miss_rate: i < 1";
@@ -57,4 +60,12 @@ module Ctree = struct
   let predicted_speedup ~lat ~n ~sets ~assoc ~block_elems ~color_frac ~ml1_cc =
     let ml2_cc = miss_rate ~n ~sets ~assoc ~block_elems ~color_frac in
     speedup lat ~naive:worst_case_naive ~cc:(ml1_cc, ml2_cc)
+end
+
+module Multilevel = struct
+  let path_transfers ~d ~block_elems =
+    if block_elems < 1 then
+      invalid_arg "Model.Multilevel.path_transfers: block_elems < 1";
+    if d <= 0. then invalid_arg "Model.Multilevel.path_transfers: d <= 0";
+    d /. log2 (float_of_int (block_elems + 1))
 end

@@ -58,6 +58,16 @@ module Ctree : sig
   (** Figure 9's steady-state L2 miss rate; clamped to [0, 1] (trees that
       fit entirely in the hot region never miss in steady state). *)
 
+  val miss_rate_k :
+    n:int -> sets:int -> assoc:int -> block_elems:int -> color_frac:float ->
+    k:float -> float
+  (** {!miss_rate} with an explicit spatial-locality factor [K] instead
+      of the subtree form [log2 (block_elems+1)] — pass a per-engine
+      expected-accesses value from {!Clustering} (e.g.
+      [expected_accesses_depth_first]) to model a different layout
+      engine in the same steady-state framework.
+      @raise Invalid_argument if [k < 1]. *)
+
   val transient_miss_rate :
     i:int -> n:int -> sets:int -> assoc:int -> block_elems:int ->
     color_frac:float -> float
@@ -78,4 +88,23 @@ module Ctree : sig
       cache-conscious tree (the paper's validation assumes 1.0 because a
       16 KB / 16 B-block L1 provides practically no clustering or
       reuse for 20-byte nodes). *)
+end
+
+(** Beyond the paper: the multilevel view that distinguishes the
+    recursive van Emde Boas layout from single-level clustering
+    (Alstrup et al.; Lindstrom & Rajan).  The paper's model treats one
+    cache level; a vEB layout meets the same per-level transfer bound at
+    {e every} granularity — L1 blocks, L2 blocks, and pages —
+    simultaneously, while subtree clustering meets it only for the [k]
+    it was planned with. *)
+module Multilevel : sig
+  val path_transfers : d:float -> block_elems:int -> float
+  (** Expected block transfers for a root-to-leaf path of [d] examined
+      nodes at a level whose blocks hold [block_elems] elements, when
+      the layout packs subtrees at that granularity:
+      [d / log2 (block_elems + 1)].  Evaluate at the L2 capacity to
+      recover the paper's model; evaluate at the page capacity to bound
+      TLB misses under a vEB layout (a bound depth-first chunking
+      misses by a factor approaching [log2 (k+1)/2]).
+      @raise Invalid_argument unless [d > 0] and [block_elems >= 1]. *)
 end

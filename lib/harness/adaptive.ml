@@ -279,7 +279,8 @@ let arm_jobs ?config ?seed bench =
         let parts = adaptive_ctx ?config ?policy_config ~morph_params () in
         (match bench with
         | "treeadd" ->
-            Adapt.Policy.set_model_target parts.policy
+            Adapt.Policy.set_model_target
+              ~scheme:morph_params.Ccmorph.cluster parts.policy
               ~n:(Olden.Treeadd.nodes_of ta)
               ~block_elems:8 ~color_frac:morph_params.Ccmorph.color_frac
         | "health" ->

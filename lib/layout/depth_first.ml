@@ -1,0 +1,1 @@
+let plan (t : Tree.t) ~k = Plan.chunk ~n:t.Tree.n ~order:(Tree.dfs_order t) ~k

@@ -1,0 +1,59 @@
+type cold_order = Dfs_first_visit | Plan_order
+
+type t = {
+  name : string;
+  describe : string;
+  cold_order : cold_order;
+  plan : Tree.t -> k:int -> Plan.t;
+}
+
+let subtree =
+  {
+    name = "subtree";
+    describe = "pack k-node subtrees per block, breadth-first (paper 2.1)";
+    cold_order = Dfs_first_visit;
+    plan = Subtree.plan;
+  }
+
+let depth_first =
+  {
+    name = "depth_first";
+    describe = "chunk the depth-first preorder into blocks (paper 2.1)";
+    cold_order = Dfs_first_visit;
+    plan = Depth_first.plan;
+  }
+
+let veb =
+  {
+    name = "veb";
+    describe = "recursive van Emde Boas subdivision: cache-oblivious, \
+                optimizes every hierarchy level at once";
+    cold_order = Plan_order;
+    plan = Veb.plan;
+  }
+
+let weighted =
+  {
+    name = "weighted";
+    describe = "profile-weighted hottest parent-child chain packing \
+                (Alstrup-style)";
+    cold_order = Plan_order;
+    plan = Weighted.plan;
+  }
+
+let builtins = [ subtree; depth_first; veb; weighted ]
+let registry : t list ref = ref []
+
+let register e =
+  registry := e :: List.filter (fun x -> x.name <> e.name) !registry
+
+let of_name name =
+  match List.find_opt (fun e -> e.name = name) !registry with
+  | Some _ as r -> r
+  | None -> List.find_opt (fun e -> e.name = name) builtins
+
+let all () =
+  builtins
+  @ List.filter
+      (fun e -> List.for_all (fun b -> b.name <> e.name) builtins)
+      (List.rev !registry)

@@ -1,0 +1,48 @@
+(** The pluggable layout-engine interface.
+
+    An engine turns an abstract tree into a {!Plan.t} for block capacity
+    [k], plus a declaration of how its cold (uncolored) blocks should be
+    assigned to pages, which {!Ccmorph} consults when [page_aware] is
+    on:
+
+    - [Dfs_first_visit]: emit cold blocks in depth-first first-visit
+      order (the paper's page-aware rule; right for engines whose block
+      order is breadth-first-ish, like subtree clustering).
+    - [Plan_order]: the plan's own block order is already the intended
+      page order (vEB's recursive-subdivision order, weighted's
+      hottest-first order); reordering it would destroy the property
+      the engine just built. *)
+
+type cold_order = Dfs_first_visit | Plan_order
+
+type t = {
+  name : string;  (** stable identifier: used in CLI, JSON, comparisons *)
+  describe : string;  (** one-line human description *)
+  cold_order : cold_order;
+  plan : Tree.t -> k:int -> Plan.t;
+}
+
+val subtree : t
+(** The paper's subtree clustering; [Dfs_first_visit]. *)
+
+val depth_first : t
+(** Depth-first chunking baseline; [Dfs_first_visit]. *)
+
+val veb : t
+(** Recursive van Emde Boas subdivision ({!Veb}); [Plan_order]. *)
+
+val weighted : t
+(** Profile-weighted hot-path packing ({!Weighted}); [Plan_order]. *)
+
+val builtins : t list
+(** [subtree; depth_first; veb; weighted]. *)
+
+val register : t -> unit
+(** Add (or replace, by name) an engine in the dynamic registry, so
+    out-of-tree engines are resolvable by name. *)
+
+val of_name : string -> t option
+(** Look up an engine by name: registry first, then builtins. *)
+
+val all : unit -> t list
+(** Builtins followed by registered non-builtin engines. *)

@@ -1,0 +1,51 @@
+type t = { blocks : int array array; block_of_node : int array }
+
+let of_blocks ~n blocks =
+  let block_of_node = Array.make n (-1) in
+  Array.iteri
+    (fun j nodes -> Array.iter (fun v -> block_of_node.(v) <- j) nodes)
+    blocks;
+  { blocks; block_of_node }
+
+let chunk ~n ~order ~k =
+  if k < 1 then invalid_arg "Layout.Plan.chunk: k < 1";
+  if Array.length order <> n then
+    invalid_arg "Layout.Plan.chunk: order must cover all nodes";
+  let seen = Array.make n false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n || seen.(v) then
+        invalid_arg "Layout.Plan.chunk: order is not a permutation";
+      seen.(v) <- true)
+    order;
+  let nblocks = (n + k - 1) / k in
+  let blocks =
+    Array.init nblocks (fun j -> Array.sub order (j * k) (min k (n - (j * k))))
+  in
+  of_blocks ~n blocks
+
+let check plan ~n ~k =
+  let seen = Array.make n false in
+  Array.iter
+    (fun nodes ->
+      if Array.length nodes > k then failwith "Layout.check_plan: block too big";
+      if Array.length nodes = 0 then failwith "Layout.check_plan: empty block";
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= n then failwith "Layout.check_plan: bad node id";
+          if seen.(v) then failwith "Layout.check_plan: node in two blocks";
+          seen.(v) <- true)
+        nodes)
+    plan.blocks;
+  Array.iteri
+    (fun i s ->
+      if not s then
+        failwith (Printf.sprintf "Layout.check_plan: node %d unplaced" i))
+    seen;
+  Array.iteri
+    (fun v j ->
+      if j < 0 || j >= Array.length plan.blocks then
+        failwith "Layout.check_plan: bad block index";
+      if not (Array.exists (fun w -> w = v) plan.blocks.(j)) then
+        failwith "Layout.check_plan: inverse mapping wrong")
+    plan.block_of_node

@@ -1,0 +1,52 @@
+let plan (t : Tree.t) ~k =
+  if k < 1 then invalid_arg "Layout.Subtree: k < 1";
+  let n = t.Tree.n in
+  let seen = Array.make n false in
+  let blocks = ref [] in
+  (* FIFO queue of cluster roots, seeded with the structure roots. *)
+  let cluster_roots = Queue.create () in
+  List.iter (fun r -> Queue.add r cluster_roots) t.Tree.roots;
+  while not (Queue.is_empty cluster_roots) do
+    let root = Queue.pop cluster_roots in
+    if root < 0 || root >= n then
+      invalid_arg "Layout.Subtree: node id out of range";
+    if seen.(root) then invalid_arg "Layout.Subtree: node reached twice";
+    (* BFS within the subtree, taking up to k nodes for this block. *)
+    let members = ref [] in
+    let count = ref 0 in
+    let frontier = Queue.create () in
+    Queue.add root frontier;
+    while !count < k && not (Queue.is_empty frontier) do
+      let v = Queue.pop frontier in
+      if seen.(v) then invalid_arg "Layout.Subtree: node reached twice";
+      seen.(v) <- true;
+      members := v :: !members;
+      incr count;
+      List.iter (fun c -> Queue.add c frontier) (t.Tree.kids v)
+    done;
+    (* Whatever remains on the frontier starts future clusters. *)
+    Queue.iter (fun v -> Queue.add v cluster_roots) frontier;
+    blocks := Array.of_list (List.rev !members) :: !blocks
+  done;
+  (* Consecutive clusters smaller than k share a block: deep in the
+     structure subtrees run out of descendants (leaves cluster alone) and
+     forest roots may head short chains; packing them in emission order
+     preserves the near-root-first property while restoring density. *)
+  let blocks =
+    List.fold_left
+      (fun acc cluster ->
+        match acc with
+        | prev :: rest when Array.length prev + Array.length cluster <= k ->
+            Array.append prev cluster :: rest
+        | _ -> cluster :: acc)
+      []
+      (List.rev !blocks)
+    |> List.rev
+  in
+  Array.iteri
+    (fun i s ->
+      if not s then
+        invalid_arg
+          (Printf.sprintf "Layout.Subtree: node %d unreachable from roots" i))
+    seen;
+  Plan.of_blocks ~n (Array.of_list blocks)

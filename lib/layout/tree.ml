@@ -1,0 +1,49 @@
+type t = {
+  n : int;
+  kids : int -> int list;
+  roots : int list;
+  weight : (int -> float) option;
+}
+
+let v ?weight ~n ~kids ~roots () =
+  if n < 0 then invalid_arg "Layout.Tree.v: n < 0";
+  { n; kids; roots; weight }
+
+let weight_of t =
+  match t.weight with None -> fun _ -> 1.0 | Some w -> w
+
+(* Iterative preorder: the trees here are as deep as the structures we
+   morph (a degenerate list is depth n), so the OCaml stack is not an
+   option.  The list-as-stack pops the head; pushing a node's kids on
+   top in order yields exactly the recursive left-to-right preorder. *)
+let dfs_order t =
+  let order = Array.make t.n (-1) in
+  let seen = Array.make t.n false in
+  let pos = ref 0 in
+  let stack = ref t.roots in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+        if v < 0 || v >= t.n then
+          invalid_arg "Layout.Tree: node id out of range";
+        if seen.(v) then invalid_arg "Layout.Tree: node reached twice";
+        seen.(v) <- true;
+        order.(!pos) <- v;
+        incr pos;
+        stack := t.kids v @ rest
+  done;
+  if !pos <> t.n then
+    invalid_arg "Layout.Tree: nodes unreachable from roots";
+  order
+
+let heights t =
+  let order = dfs_order t in
+  let h = Array.make t.n 1 in
+  (* Children appear after their parent in preorder, so a reverse sweep
+     sees every child's height before its parent needs it. *)
+  for i = t.n - 1 downto 0 do
+    let v = order.(i) in
+    List.iter (fun c -> if h.(c) + 1 > h.(v) then h.(v) <- h.(c) + 1) (t.kids v)
+  done;
+  h

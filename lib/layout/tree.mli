@@ -1,0 +1,39 @@
+(** Abstract trees (forests) for the layout engines.
+
+    Nodes are integers [0 .. n-1]; [kids i] lists the children of node
+    [i] in left-to-right order; [roots] lists the forest roots.  The
+    optional [weight] gives a per-node access weight (e.g. profiled
+    access counts) that weight-aware engines may consult; engines that
+    ignore weights simply never call it. *)
+
+type t = {
+  n : int;
+  kids : int -> int list;
+  roots : int list;
+  weight : (int -> float) option;
+}
+
+val v :
+  ?weight:(int -> float) ->
+  n:int ->
+  kids:(int -> int list) ->
+  roots:int list ->
+  unit ->
+  t
+
+val weight_of : t -> int -> float
+(** Weight of a node; [1.0] when the tree carries no weights. *)
+
+val dfs_order : t -> int array
+(** Depth-first preorder over the forest (roots in order, children
+    left-to-right).  Also the canonical structure validator: every
+    engine that needs a traversal gets the spanning check for free.
+    @raise Invalid_argument if the roots do not reach exactly the ids
+    [0..n-1] without repetition (cycle, DAG sharing, or unreachable
+    nodes). *)
+
+val heights : t -> int array
+(** [heights.(v)] is the height of the subtree rooted at [v], counting
+    nodes: a leaf has height 1.  Runs one preorder plus one
+    reverse-preorder sweep; raises like {!dfs_order} on malformed
+    input. *)

@@ -1,0 +1,42 @@
+(* Descendants of [r] at depth exactly [d] (relative to [r]), left to
+   right.  Iterative: the subtree can be a depth-n chain. *)
+let at_depth kids r d =
+  let out = ref [] in
+  let stack = ref [ (r, 0) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (v, dv) :: rest ->
+        stack := rest;
+        if dv = d then out := v :: !out
+        else stack := List.map (fun c -> (c, dv + 1)) (kids v) @ rest
+  done;
+  List.rev !out
+
+let plan (t : Tree.t) ~k =
+  if k < 1 then invalid_arg "Layout.Veb: k < 1";
+  let n = t.Tree.n in
+  (* heights both drives the split rule and pre-validates the tree (it
+     runs a full spanning traversal). *)
+  let heights = Tree.heights t in
+  let order = Array.make n (-1) in
+  let pos = ref 0 in
+  (* [lay r limit] emits every descendant of [r] at depth < limit:
+     first the top [limit/2] levels recursively, then each depth-
+     [limit/2] subtree recursively.  limit >= 2 implies 1 <= top < limit,
+     so both halves shrink and the recursion depth is O(log limit). *)
+  let rec lay r limit =
+    if limit <= 1 then begin
+      order.(!pos) <- r;
+      incr pos
+    end
+    else begin
+      let top = limit / 2 in
+      lay r top;
+      List.iter
+        (fun b -> lay b (min (limit - top) heights.(b)))
+        (at_depth t.Tree.kids r top)
+    end
+  in
+  List.iter (fun r -> lay r heights.(r)) t.Tree.roots;
+  Plan.chunk ~n ~order ~k

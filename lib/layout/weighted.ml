@@ -1,0 +1,104 @@
+(* Binary max-heap over (weight, id): higher weight first, lower id on
+   ties, so the layout is deterministic for any weight function. *)
+type heap = { mutable a : (float * int) array; mutable len : int }
+
+let heap_create () = { a = Array.make 64 (0., -1); len = 0 }
+
+(* [x] has lower priority than [y] *)
+let below (w1, i1) (w2, i2) = w1 < w2 || (w1 = w2 && i1 > i2)
+
+let heap_push h x =
+  if h.len = Array.length h.a then begin
+    let a = Array.make (2 * h.len) (0., -1) in
+    Array.blit h.a 0 a 0 h.len;
+    h.a <- a
+  end;
+  let i = ref h.len in
+  h.len <- h.len + 1;
+  h.a.(!i) <- x;
+  while !i > 0 && below h.a.((!i - 1) / 2) h.a.(!i) do
+    let p = (!i - 1) / 2 in
+    let tmp = h.a.(p) in
+    h.a.(p) <- h.a.(!i);
+    h.a.(!i) <- tmp;
+    i := p
+  done
+
+let heap_pop h =
+  let top = h.a.(0) in
+  h.len <- h.len - 1;
+  h.a.(0) <- h.a.(h.len);
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let best = ref !i in
+    if l < h.len && below h.a.(!best) h.a.(l) then best := l;
+    if r < h.len && below h.a.(!best) h.a.(r) then best := r;
+    if !best = !i then continue := false
+    else begin
+      let tmp = h.a.(!best) in
+      h.a.(!best) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := !best
+    end
+  done;
+  snd top
+
+let plan (t : Tree.t) ~k =
+  if k < 1 then invalid_arg "Layout.Weighted: k < 1";
+  let n = t.Tree.n in
+  let w = Tree.weight_of t in
+  let placed = Array.make n false in
+  let frontier = heap_create () in
+  let push v =
+    if v < 0 || v >= n then invalid_arg "Layout.Weighted: node id out of range";
+    heap_push frontier (w v, v)
+  in
+  List.iter push t.Tree.roots;
+  let blocks = ref [] in
+  let place members v =
+    if placed.(v) then invalid_arg "Layout.Weighted: node reached twice";
+    placed.(v) <- true;
+    members := v :: !members
+  in
+  while frontier.len > 0 do
+    let members = ref [] and count = ref 0 in
+    let cur = ref (Some (heap_pop frontier)) in
+    while !count < k && !cur <> None do
+      let v = Option.get !cur in
+      place members v;
+      incr count;
+      (* The hottest child continues the chain in this block; its
+         siblings join the frontier.  When the chain bottoms out but
+         the block still has room, refill from the globally hottest
+         frontier node — merging under-full hot paths keeps density. *)
+      let hottest =
+        List.fold_left
+          (fun best c ->
+            match best with
+            | Some b when w c <= w b -> best
+            | _ -> Some c)
+          None (t.Tree.kids v)
+      in
+      match hottest with
+      | None ->
+          cur :=
+            if !count < k && frontier.len > 0 then Some (heap_pop frontier)
+            else None
+      | Some hot ->
+          List.iter (fun c -> if c <> hot then push c) (t.Tree.kids v);
+          if !count < k then cur := Some hot
+          else begin
+            push hot;
+            cur := None
+          end
+    done;
+    blocks := Array.of_list (List.rev !members) :: !blocks
+  done;
+  for v = 0 to n - 1 do
+    if not placed.(v) then
+      invalid_arg
+        (Printf.sprintf "Layout.Weighted: node %d unreachable from roots" v)
+  done;
+  Plan.of_blocks ~n (Array.of_list (List.rev !blocks))

@@ -346,6 +346,45 @@ module Occupancy = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Counts: per-word access counts (layout-engine weights)              *)
+(* ------------------------------------------------------------------ *)
+
+module Counts = struct
+  type t = { tbl : (int, int) Hashtbl.t; mutable total : int }
+
+  let create () = { tbl = Hashtbl.create 4096; total = 0 }
+  let word addr = addr land lnot 3
+
+  let on_access t _write addr =
+    let w = word addr in
+    Hashtbl.replace t.tbl w
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.tbl w));
+    t.total <- t.total + 1
+
+  let attach t m = Memsim.Machine.subscribe m (on_access t)
+  let total t = t.total
+  let count t addr = Option.value ~default:0 (Hashtbl.find_opt t.tbl (word addr))
+
+  let weight_in t addr ~bytes =
+    let sum = ref 0 in
+    let w = ref (word addr) in
+    while !w < addr + bytes do
+      sum := !sum + Option.value ~default:0 (Hashtbl.find_opt t.tbl !w);
+      w := !w + 4
+    done;
+    float_of_int !sum
+
+  let weight_fn t ~elem_bytes addr = weight_in t addr ~bytes:elem_bytes
+
+  let to_json t =
+    Json.Obj
+      [
+        ("accesses", Json.Int t.total);
+        ("distinct_words", Json.Int (Hashtbl.length t.tbl));
+      ]
+end
+
+(* ------------------------------------------------------------------ *)
 (* Combined                                                            *)
 (* ------------------------------------------------------------------ *)
 

@@ -162,8 +162,14 @@ let run ?(params = default_params) ?(measure_whole = false) ?config ?ctx
       (* the perimeter pass is one full depth-first walk (plus neighbor
          probes that stay close to the walk), so, as with treeadd, the
          programmer parameterizes ccmorph with depth-first clustering
-         (paper Section 2.1's caveat about DFS access patterns) *)
-      let p = { p with Ccsl.Ccmorph.cluster = Ccsl.Ccmorph.Depth_first } in
+         (paper Section 2.1's caveat about DFS access patterns); an
+         explicitly requested engine is honored as given *)
+      let p =
+        match p.Ccsl.Ccmorph.cluster with
+        | Ccsl.Ccmorph.Subtree ->
+            { p with Ccsl.Ccmorph.cluster = Ccsl.Ccmorph.Depth_first }
+        | _ -> p
+      in
       let r = Ccsl.Ccmorph.morph ~params:p m Qt.desc ~root:tree.Qt.root in
       Qt.set_root tree r.Ccsl.Ccmorph.new_root);
   if not measure_whole then Machine.reset_measurement m;

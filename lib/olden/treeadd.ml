@@ -72,8 +72,14 @@ let run ?(params = default_params) ?(measure_whole = false) ?config ?ctx
            paper's Section 2.1 ("for specific access patterns, such as
            depth-first search, other clustering schemes may be better")
            the programmer parameterizes ccmorph with depth-first
-           clustering here. *)
-        let p = { p with Ccsl.Ccmorph.cluster = Ccsl.Ccmorph.Depth_first } in
+           clustering here.  An explicitly requested engine (a layout
+           shootout, an autotune recommendation) is honored as given. *)
+        let p =
+          match p.Ccsl.Ccmorph.cluster with
+          | Ccsl.Ccmorph.Subtree ->
+              { p with Ccsl.Ccmorph.cluster = Ccsl.Ccmorph.Depth_first }
+          | _ -> p
+        in
         (Ccsl.Ccmorph.morph ~params:p ctx.machine desc ~root).Ccsl.Ccmorph.new_root
   in
   (* Construction and one-time reorganization happen at start-up; the
@@ -87,7 +93,12 @@ let run ?(params = default_params) ?(measure_whole = false) ?config ?ctx
     if Common.want_morph ctx ~default:false then
       match ctx.morph_params with
       | Some p ->
-          let p = { p with Ccsl.Ccmorph.cluster = Ccsl.Ccmorph.Depth_first } in
+          let p =
+            match p.Ccsl.Ccmorph.cluster with
+            | Ccsl.Ccmorph.Subtree ->
+                { p with Ccsl.Ccmorph.cluster = Ccsl.Ccmorph.Depth_first }
+            | _ -> p
+          in
           let r =
             Ccsl.Ccmorph.morph ~params:p ?session:(Common.morph_session ctx)
               ctx.machine desc ~root:!root

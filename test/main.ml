@@ -7,4 +7,4 @@ let () =
    @ Suite_placement.tests @ Suite_ccmorph.tests @ Suite_structures.tests
    @ Suite_bdd.tests @ Suite_workload.tests @ Suite_olden.tests
    @ Suite_apps.tests @ Suite_obs.tests @ Suite_analyze.tests
-   @ Suite_adapt.tests @ Suite_fastpath.tests)
+   @ Suite_adapt.tests @ Suite_fastpath.tests @ Suite_layout.tests)

@@ -1,0 +1,428 @@
+(* The layout-engine subsystem's contract: the refactored engines are
+   bit-identical to the schemes they replaced, every engine (built-in or
+   not) emits a valid partition on arbitrary unbalanced trees, and the
+   multi-level shootout harness reproduces itself exactly under the
+   parallel runner. *)
+
+module M = Memsim
+module Machine = Memsim.Machine
+module Config = Memsim.Config
+module Cache = Memsim.Cache
+module Hierarchy = Memsim.Hierarchy
+module Ccmorph = Ccsl.Ccmorph
+module Clustering = Ccsl.Clustering
+module Model = Ccsl.Model
+module Bst = Structures.Bst
+module Rng = Workload.Rng
+module OC = Olden.Common
+module J = Obs.Json
+module LS = Harness.Layout_shootout
+
+let stats_tuple (s : Cache.stats) =
+  ( s.Cache.reads,
+    s.Cache.writes,
+    s.Cache.read_misses,
+    s.Cache.write_misses,
+    s.Cache.evictions,
+    s.Cache.writebacks )
+
+(* ------------------------------------------------------------------ *)
+(* Differential: alias scheme vs explicit engine, whole Olden runs     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every simulated number for an Olden benchmark run with the given
+   cluster scheme.  If the refactor behind [Layout.Engine] changed even
+   one block assignment, cycles or misses would drift. *)
+let olden_fingerprint ~scheme which =
+  let ctx = OC.make_ctx OC.Ccmorph_cluster_color in
+  let ctx =
+    {
+      ctx with
+      OC.morph_params =
+        Some { Ccmorph.default_params with Ccmorph.cluster = scheme };
+    }
+  in
+  let r =
+    match which with
+    | `Treeadd ->
+        Olden.Treeadd.run
+          ~params:{ Olden.Treeadd.levels = 10; passes = 2 }
+          ~ctx OC.Ccmorph_cluster_color
+    | `Health ->
+        Olden.Health.run
+          ~params:
+            { Olden.Health.levels = 2; steps = 60; morph_interval = 15;
+              seed = 7 }
+          ~ctx OC.Ccmorph_cluster_color
+  in
+  let h = Machine.hierarchy ctx.OC.machine in
+  ( r.OC.checksum,
+    r.OC.snapshot,
+    stats_tuple (Cache.stats (Hierarchy.l1 h)),
+    stats_tuple (Cache.stats (Hierarchy.l2 h)) )
+
+(* Health honors morph_params verbatim, so the [Subtree] alias must
+   equal the explicit subtree engine.  Treeadd rewrites a literal
+   [Subtree] to depth-first chunking (the paper's Section 2.1 choice for
+   its kernel), so there the meaningful identity is the [Depth_first]
+   pair. *)
+let test_health_subtree_differential () =
+  Alcotest.(check bool)
+    "Subtree alias == Engine subtree on health" true
+    (olden_fingerprint ~scheme:Ccmorph.Subtree `Health
+    = olden_fingerprint ~scheme:(Ccmorph.Engine Layout.Engine.subtree) `Health)
+
+let test_treeadd_depth_first_differential () =
+  Alcotest.(check bool)
+    "Depth_first alias == Engine depth_first on treeadd" true
+    (olden_fingerprint ~scheme:Ccmorph.Depth_first `Treeadd
+    = olden_fingerprint
+        ~scheme:(Ccmorph.Engine Layout.Engine.depth_first)
+        `Treeadd)
+
+(* ------------------------------------------------------------------ *)
+(* Property: every engine partitions arbitrary unbalanced trees        *)
+(* ------------------------------------------------------------------ *)
+
+let prop_all_engines_valid =
+  QCheck.Test.make ~count:100
+    ~name:"every engine's plan passes check_plan on random forests"
+    QCheck.(triple (int_range 1 200) (int_range 1 8) bool)
+    (fun (n, k, forest) ->
+      (* random unbalanced tree: parent of i is a random j < i; a forest
+         leaves the first few nodes parentless *)
+      let rng = Rng.create ((n * 131) + (k * 7) + Bool.to_int forest) in
+      let nroots = if forest then min n (1 + Rng.int rng 3) else 1 in
+      let kids = Array.make n [] in
+      for i = nroots to n - 1 do
+        let p = Rng.int rng i in
+        kids.(p) <- i :: kids.(p)
+      done;
+      let weight =
+        if forest then Some (fun v -> float_of_int ((v * 37) mod 11)) else None
+      in
+      let t =
+        Layout.Tree.v ?weight ~n
+          ~kids:(fun i -> kids.(i))
+          ~roots:(List.init nroots Fun.id)
+          ()
+      in
+      List.for_all
+        (fun e ->
+          Layout.check_plan (e.Layout.Engine.plan t ~k) ~n ~k;
+          true)
+        (Layout.Engine.all ()))
+
+(* ------------------------------------------------------------------ *)
+(* vEB: recursive-subdivision order, pinned on a complete tree         *)
+(* ------------------------------------------------------------------ *)
+
+let complete_kids n i =
+  List.filter (fun c -> c < n) [ (2 * i) + 1; (2 * i) + 2 ]
+
+(* Height-4 complete tree, k = 3: the van Emde Boas split puts the top
+   two levels in one block and each depth-2 subtree in its own block —
+   the triads a 3-element block can hold at every recursion level. *)
+let test_veb_complete_tree () =
+  let n = 15 in
+  let t = Layout.Tree.v ~n ~kids:(complete_kids n) ~roots:[ 0 ] () in
+  let plan = Layout.Veb.plan t ~k:3 in
+  Layout.check_plan plan ~n ~k:3;
+  let expect =
+    [| [| 0; 1; 2 |]; [| 3; 7; 8 |]; [| 4; 9; 10 |]; [| 5; 11; 12 |];
+       [| 6; 13; 14 |] |]
+  in
+  Alcotest.(check bool) "vEB blocks are the recursive triads" true
+    (plan.Layout.Plan.blocks = expect);
+  Alcotest.(check int) "root lands in block 0 (coloring hot prefix)" 0
+    plan.Layout.Plan.block_of_node.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Engines under morph: checksum preserved, debug plan checking        *)
+(* ------------------------------------------------------------------ *)
+
+let test_morph_engines_with_debug_check () =
+  Fun.protect
+    ~finally:(fun () -> Ccmorph.debug_check_plans := false)
+    (fun () ->
+      Ccmorph.debug_check_plans := true;
+      List.iter
+        (fun (name, scheme) ->
+          let m = Machine.create (Config.tiny ()) in
+          let elem_bytes = Bst.default_elem_bytes in
+          let n = 127 in
+          let keys = Array.init n (fun i -> i) in
+          let t =
+            Bst.build m ~elem_bytes
+              ~alloc:(Alloc.Malloc.allocator (Alloc.Malloc.create m))
+              (Bst.Random (Rng.create 42)) ~keys
+          in
+          let params =
+            {
+              Ccmorph.default_params with
+              Ccmorph.cluster = scheme;
+              weights = Some (fun a -> float_of_int (a land 0xff));
+            }
+          in
+          let r =
+            Ccmorph.morph ~params m (Bst.desc ~elem_bytes) ~root:t.Bst.root
+          in
+          let t = Bst.of_root m ~elem_bytes ~n r.Ccmorph.new_root in
+          let ok = Array.for_all (fun k -> Bst.search t k) keys in
+          Alcotest.(check bool) (name ^ ": all keys survive the morph") true ok)
+        LS.engine_schemes)
+
+(* ------------------------------------------------------------------ *)
+(* page_aware TLB sensitivity, per engine                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One deterministic search-heavy run on the TLB-modeling UltraSPARC,
+   deep enough (2^15 - 1 nodes x 20 B = 640 KB) to exceed the 512 KB
+   TLB reach. *)
+let tlb_fingerprint ~scheme ~page_aware =
+  let m = Machine.create (Config.ultrasparc_e5000 ~tlb:true ()) in
+  let elem_bytes = Bst.default_elem_bytes in
+  let n = (1 lsl 15) - 1 in
+  let keys = Array.init n (fun i -> i) in
+  let t =
+    Bst.build m ~elem_bytes
+      ~alloc:(Alloc.Malloc.allocator (Alloc.Malloc.create m))
+      (Bst.Random (Rng.create 11)) ~keys
+  in
+  let params =
+    { Ccmorph.default_params with Ccmorph.cluster = scheme; page_aware }
+  in
+  let r = Ccmorph.morph ~params m (Bst.desc ~elem_bytes) ~root:t.Bst.root in
+  let t = Bst.of_root m ~elem_bytes ~n r.Ccmorph.new_root in
+  Machine.cold_start m;
+  let rng = Rng.create 23 in
+  for _ = 1 to 3_000 do
+    ignore (Bst.search t keys.(Rng.int rng n))
+  done;
+  let st = Hierarchy.stats (Machine.hierarchy m) in
+  let tlb_misses =
+    match st.Hierarchy.h_tlb with
+    | Some s -> s.M.Tlb.t_misses
+    | None -> Alcotest.fail "machine models no TLB"
+  in
+  ( tlb_misses,
+    Machine.cycles m,
+    stats_tuple st.Hierarchy.h_l1,
+    stats_tuple st.Hierarchy.h_l2 )
+
+let test_page_aware_tlb_sensitivity () =
+  List.iter
+    (fun (name, scheme) ->
+      let engine = Ccmorph.engine_of_scheme scheme in
+      let on = tlb_fingerprint ~scheme ~page_aware:true in
+      let off = tlb_fingerprint ~scheme ~page_aware:false in
+      match engine.Layout.Engine.cold_order with
+      | Layout.Engine.Plan_order ->
+          (* plan order IS the page order: the flag must be inert *)
+          Alcotest.(check bool)
+            (name ^ ": page_aware is a no-op for plan-order engines")
+            true (on = off)
+      | Layout.Engine.Dfs_first_visit ->
+          let tlb_on, _, _, _ = on and tlb_off, _, _, _ = off in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: page-aware emission does not hurt TLB (%d <= %d)"
+               name tlb_on tlb_off)
+            true (tlb_on <= tlb_off))
+    LS.engine_schemes
+
+(* ------------------------------------------------------------------ *)
+(* Closed forms                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let feq = Alcotest.float 1e-9
+
+let test_closed_forms () =
+  (* geometric chain descent at p = 1/2 collapses to the paper's
+     depth-first form 2(1 - 2^-k) *)
+  Alcotest.check feq "weighted at p=0.5 equals depth-first form"
+    (Clustering.expected_accesses_depth_first ~k:6)
+    (Clustering.expected_accesses_weighted ~k:6 ~p:0.5);
+  Alcotest.check feq "always-descend (p=1) uses the whole block" 4.0
+    (Clustering.expected_accesses_weighted ~k:4 ~p:1.0);
+  Alcotest.check feq "vEB shares the subtree form at one level"
+    (Clustering.expected_accesses_subtree ~k:7)
+    (Clustering.expected_accesses_veb ~k:7);
+  Alcotest.check_raises "p outside [0,1] rejected"
+    (Invalid_argument "Clustering.expected_accesses_weighted: p outside [0, 1]")
+    (fun () -> ignore (Clustering.expected_accesses_weighted ~k:4 ~p:1.5));
+  Alcotest.check feq "single-element blocks transfer once per node" 10.0
+    (Model.Multilevel.path_transfers ~d:10.0 ~block_elems:1);
+  Alcotest.check feq "7-element blocks amortize 3 nodes per transfer" 3.0
+    (Model.Multilevel.path_transfers ~d:9.0 ~block_elems:7)
+
+(* ------------------------------------------------------------------ *)
+(* cclint layout-fit check                                             *)
+(* ------------------------------------------------------------------ *)
+
+let cache_stats ~misses =
+  {
+    Cache.reads = 1000;
+    writes = 0;
+    read_misses = misses;
+    write_misses = 0;
+    evictions = 0;
+    writebacks = 0;
+    prefetch_installs = 0;
+  }
+
+(* UltraSPARC-shaped latencies: 16 B L1 blocks under 64 B L2 blocks,
+   6-cycle L1 miss, 64-cycle L2 miss. *)
+let fit_check ~scheme ~page_aware ~l1_misses ~l2_misses ~tlb_misses =
+  Analyze.Layoutfit.check ~struct_id:"tree" ~scheme ~page_aware
+    ~l1_block_bytes:16 ~l2_block_bytes:64
+    ~lat:{ Hierarchy.l1_hit = 1; l1_miss = 6; l2_miss = 64 }
+    ~tlb_penalty:(Some 100)
+    ~stats:
+      {
+        Hierarchy.h_l1 = cache_stats ~misses:l1_misses;
+        h_l2 = cache_stats ~misses:l2_misses;
+        h_tlb = Some { M.Tlb.t_hits = 1000; t_misses = tlb_misses };
+        h_hw_prefetches = 0;
+        h_sw_prefetches_dropped = 0;
+        h_prefetches_consumed = 0;
+        h_prefetch_cycles_saved = 0;
+      }
+
+let test_layoutfit () =
+  (* TLB-dominated (100k TLB stall vs 6k + 6.4k cache stall) under a
+     dfs-order engine with page-aware emission off: mismatch *)
+  let d =
+    fit_check ~scheme:"depth_first" ~page_aware:false ~l1_misses:1000
+      ~l2_misses:100 ~tlb_misses:1000
+  in
+  Alcotest.(check int) "TLB-dominated dfs plan without page_aware fires" 1
+    (List.length d);
+  (match d with
+  | [ d ] ->
+      Alcotest.(check string) "rule id" "layout/layout-mismatch" d.Analyze.Diag.rule;
+      Alcotest.(check bool) "advisory severity" true
+        (d.Analyze.Diag.severity = Analyze.Diag.Info)
+  | _ -> ());
+  Alcotest.(check int) "page_aware emission clears the TLB mismatch" 0
+    (List.length
+       (fit_check ~scheme:"depth_first" ~page_aware:true ~l1_misses:1000
+          ~l2_misses:100 ~tlb_misses:1000));
+  Alcotest.(check int) "vEB serves the page level by construction" 0
+    (List.length
+       (fit_check ~scheme:"veb" ~page_aware:false ~l1_misses:1000
+          ~l2_misses:100 ~tlb_misses:1000));
+  (* L1-dominated (60k L1 stall) under subtree, which packs only the L2
+     block: mismatch; vEB packs the L1 granularity too *)
+  Alcotest.(check int) "L1-dominated subtree plan fires" 1
+    (List.length
+       (fit_check ~scheme:"subtree" ~page_aware:true ~l1_misses:10_000
+          ~l2_misses:100 ~tlb_misses:10));
+  Alcotest.(check int) "same profile under veb is a fit" 0
+    (List.length
+       (fit_check ~scheme:"veb" ~page_aware:true ~l1_misses:10_000
+          ~l2_misses:100 ~tlb_misses:10));
+  (* L2-dominated is what every engine optimizes: never a mismatch *)
+  Alcotest.(check int) "L2-dominated profile never fires" 0
+    (List.length
+       (fit_check ~scheme:"subtree" ~page_aware:false ~l1_misses:100
+          ~l2_misses:5_000 ~tlb_misses:10));
+  (* no stall at all: nothing to attribute *)
+  Alcotest.(check int) "idle run is silent" 0
+    (List.length
+       (fit_check ~scheme:"subtree" ~page_aware:false ~l1_misses:0
+          ~l2_misses:0 ~tlb_misses:0))
+
+(* ------------------------------------------------------------------ *)
+(* Shootout harness: codec, report shape, parallel == serial           *)
+(* ------------------------------------------------------------------ *)
+
+let fake_level = { LS.lv_accesses = 100; lv_misses = 7; lv_miss_rate = 0.07 }
+
+let fake_row tlb =
+  {
+    LS.row_engine = "veb";
+    row_cycles = 123_456;
+    row_checksum = 99;
+    row_l1 = fake_level;
+    row_l2 = { fake_level with LS.lv_misses = 3; lv_miss_rate = 0.03 };
+    row_tlb = tlb;
+    row_blocks_used = 42;
+    row_hot_blocks = 21;
+    row_pages_used = 5;
+  }
+
+let test_row_payload_roundtrip () =
+  let with_tlb = fake_row (Some { fake_level with LS.lv_misses = 1 }) in
+  let without = fake_row None in
+  Alcotest.(check bool) "row with TLB survives the pipe" true
+    (LS.row_of_payload (LS.row_payload with_tlb) = with_tlb);
+  Alcotest.(check bool) "row without TLB survives the pipe" true
+    (LS.row_of_payload (LS.row_payload without) = without)
+
+let test_shootout_report_shape () =
+  match LS.run "micro" with
+  | None -> Alcotest.fail "micro is a known workload"
+  | Some r ->
+      let engines = List.map fst LS.engine_schemes in
+      Alcotest.(check (list string))
+        "one row per built-in engine, in order" engines
+        (List.map (fun row -> row.LS.row_engine) r.LS.rows);
+      (match r.LS.rows with
+      | first :: rest ->
+          List.iter
+            (fun row ->
+              Alcotest.(check int)
+                (row.LS.row_engine ^ ": layout must not change the answers")
+                first.LS.row_checksum row.LS.row_checksum)
+            rest
+      | [] -> Alcotest.fail "empty report");
+      List.iter
+        (fun row ->
+          Alcotest.(check bool)
+            (row.LS.row_engine ^ ": TLB level present on the micro machine")
+            true
+            (row.LS.row_tlb <> None))
+        r.LS.rows
+
+let test_shootout_parallel_matches_serial () =
+  let serial = LS.run "treeadd" in
+  let par = LS.run ~parallel:true "treeadd" in
+  match (serial, par) with
+  | Some s, Some p ->
+      Alcotest.(check string) "forked shootout reassembles byte-identically"
+        (J.to_string (LS.to_json s))
+        (J.to_string (LS.to_json p))
+  | _ -> Alcotest.fail "treeadd is a known workload"
+
+let test_shootout_unknown_bench () =
+  Alcotest.(check bool) "unknown workload is None" true
+    (LS.run "nosuch" = None)
+
+let tests =
+  [
+    ( "layout",
+      [
+        Alcotest.test_case "differential health: Subtree == engine" `Quick
+          test_health_subtree_differential;
+        Alcotest.test_case "differential treeadd: Depth_first == engine" `Quick
+          test_treeadd_depth_first_differential;
+        Alcotest.test_case "vEB order on a complete tree" `Quick
+          test_veb_complete_tree;
+        Alcotest.test_case "all engines morph under debug plan checking"
+          `Quick test_morph_engines_with_debug_check;
+        Alcotest.test_case "page_aware TLB sensitivity per engine" `Quick
+          test_page_aware_tlb_sensitivity;
+        Alcotest.test_case "closed forms" `Quick test_closed_forms;
+        Alcotest.test_case "lint layout-mismatch diagnostic" `Quick
+          test_layoutfit;
+        Alcotest.test_case "shootout row codec round-trip" `Quick
+          test_row_payload_roundtrip;
+        Alcotest.test_case "shootout report shape (micro)" `Quick
+          test_shootout_report_shape;
+        Alcotest.test_case "shootout parallel == serial (treeadd)" `Quick
+          test_shootout_parallel_matches_serial;
+        Alcotest.test_case "shootout rejects unknown workloads" `Quick
+          test_shootout_unknown_bench;
+        QCheck_alcotest.to_alcotest prop_all_engines_valid;
+      ] );
+  ]
